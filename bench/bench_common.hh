@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Shared helpers for the benchmark binaries.
+ *
+ * Each bench binary regenerates one table or figure from the paper's
+ * evaluation: it runs the relevant workloads on a native system (VMM,
+ * no cloaking — the paper's baseline) and on an Overshadow system, and
+ * prints the same rows/series the paper reports. All numbers are
+ * deterministic simulated cycles.
+ */
+
+#ifndef OSH_BENCH_COMMON_HH
+#define OSH_BENCH_COMMON_HH
+
+#include "os/env.hh"
+#include "system/system.hh"
+#include "workloads/workloads.hh"
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace osh::bench
+{
+
+/** Build a system with workloads registered. */
+inline std::unique_ptr<system::System>
+makeSystem(bool cloaked, std::uint64_t frames = 4096,
+           std::uint64_t seed = 42,
+           std::uint64_t preempt_ops = 2'000'000)
+{
+    system::SystemConfig cfg;
+    cfg.cloakingEnabled = cloaked;
+    cfg.guestFrames = frames;
+    cfg.seed = seed;
+    cfg.preemptOpsPerTick = preempt_ops;
+    auto sys = std::make_unique<system::System>(cfg);
+    workloads::registerAll(*sys);
+    return sys;
+}
+
+/** Run one workload and return total simulated cycles (asserts ok). */
+inline Cycles
+runCycles(bool cloaked, const std::string& program,
+          const std::vector<std::string>& argv,
+          std::uint64_t frames = 4096, std::uint64_t seed = 42)
+{
+    auto sys = makeSystem(cloaked, frames, seed);
+    auto r = sys->runProgram(program, argv);
+    if (r.status != 0) {
+        osh_fatal("bench workload %s failed: status=%d %s",
+                  program.c_str(), r.status, r.killReason.c_str());
+    }
+    return sys->cycles();
+}
+
+inline void
+header(const char* title)
+{
+    std::printf("\n================================================="
+                "=============\n");
+    std::printf("%s\n", title);
+    std::printf("==================================================="
+                "===========\n");
+}
+
+} // namespace osh::bench
+
+#endif // OSH_BENCH_COMMON_HH

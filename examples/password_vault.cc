@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Example: a password vault built on protected files.
+ *
+ * The vault program stores name=secret records in a file under
+ * /cloaked. The shim's memory-mapped I/O emulation keeps the records
+ * plaintext only inside the vault's own protection domain: the page
+ * cache, the disk image and anything the kernel can reach hold
+ * ciphertext, and the sealed metadata binds the file to the vault's
+ * identity — a different program (here, "snoop-tool") cannot even open
+ * it. The vault runs three times (add, add, list) to show protection
+ * persisting across process lifetimes.
+ */
+
+#include "os/env.hh"
+#include "system/system.hh"
+#include "workloads/workloads.hh"
+
+#include <cstdio>
+#include <string>
+
+using namespace osh;
+using os::Env;
+
+namespace
+{
+
+constexpr const char* vaultPath = "/cloaked/vault.db";
+
+/** vault add <name> <secret> | vault list */
+int
+vaultMain(Env& env)
+{
+    const auto& args = env.args();
+    if (args.empty())
+        return 64;
+    env.mkdir("/cloaked");
+
+    if (args[0] == "add") {
+        if (args.size() != 3)
+            return 64;
+        std::int64_t fd = env.open(vaultPath,
+                                   os::openCreate | os::openRead |
+                                       os::openWrite);
+        if (fd < 0)
+            return 1;
+        env.lseek(fd, 0, os::seekEnd);
+        env.writeAll(fd, args[1] + "=" + args[2] + "\n");
+        env.close(fd);
+        return 0;
+    }
+
+    if (args[0] == "list") {
+        std::int64_t fd = env.open(vaultPath, os::openRead);
+        if (fd < 0)
+            return 2;
+        std::string all = env.readSome(fd, 4096);
+        env.close(fd);
+        // "Print" by returning the number of records; the host shows
+        // the plaintext the vault itself can see.
+        int records = 0;
+        for (char c : all)
+            records += c == '\n';
+        std::printf("  [vault] decrypted %d record(s):\n", records);
+        std::printf("%s", ("    " + all).c_str());
+        return records;
+    }
+    return 64;
+}
+
+int
+snoopToolMain(Env& env)
+{
+    std::int64_t fd = env.open(vaultPath, os::openRead);
+    if (fd == -os::errPerm) {
+        std::printf("  [snoop-tool] open(%s) rejected: identity "
+                    "mismatch on sealed metadata\n", vaultPath);
+        return 0;
+    }
+    std::printf("  [snoop-tool] unexpectedly opened the vault!\n");
+    return 1;
+}
+
+} // namespace
+
+int
+main()
+{
+    system::SystemConfig cfg;
+    system::System sys(cfg);
+    sys.addProgram("vault", os::Program{vaultMain, true, 64});
+    sys.addProgram("snoop-tool", os::Program{snoopToolMain, true, 64});
+
+    std::printf("adding records (separate vault processes):\n");
+    if (sys.runProgram("vault", {"add", "github", "hunter2"}).status != 0)
+        return 1;
+    if (sys.runProgram("vault", {"add", "bank", "tr0ub4dor&3"}).status !=
+        0)
+        return 1;
+
+    std::printf("\nlisting from a third vault process:\n");
+    auto r = sys.runProgram("vault", {"list"});
+    std::printf("  vault saw %d records\n", r.status);
+
+    std::printf("\nwhat the kernel/disk sees at rest:\n");
+    std::string disk = workloads::readGuestFile(sys, vaultPath);
+    bool leaked = disk.find("hunter2") != std::string::npos ||
+                  disk.find("tr0ub4dor") != std::string::npos;
+    std::printf("  %zu bytes on disk, plaintext visible: %s\n",
+                disk.size(), leaked ? "YES (BROKEN!)" : "no");
+
+    std::printf("\na different (cloaked) program tries to open the "
+                "vault:\n");
+    auto s = sys.runProgram("snoop-tool");
+    if (s.status != 0)
+        return 1;
+
+    std::printf("\ncloak stats:\n%s",
+                sys.cloak()->stats().dump().c_str());
+    return leaked ? 1 : 0;
+}

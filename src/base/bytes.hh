@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Byte-manipulation helpers: endian-explicit loads/stores, hex encoding,
+ * and span conveniences used throughout the crypto and memory code.
+ */
+
+#ifndef OSH_BASE_BYTES_HH
+#define OSH_BASE_BYTES_HH
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace osh
+{
+
+/** Load a little-endian 16/32/64-bit value from raw bytes. */
+inline std::uint16_t
+loadLe16(const std::uint8_t* p)
+{
+    return static_cast<std::uint16_t>(p[0] | (std::uint16_t{p[1]} << 8));
+}
+
+inline std::uint32_t
+loadLe32(const std::uint8_t* p)
+{
+    return std::uint32_t{p[0]} | (std::uint32_t{p[1]} << 8) |
+           (std::uint32_t{p[2]} << 16) | (std::uint32_t{p[3]} << 24);
+}
+
+inline std::uint64_t
+loadLe64(const std::uint8_t* p)
+{
+    return std::uint64_t{loadLe32(p)} |
+           (std::uint64_t{loadLe32(p + 4)} << 32);
+}
+
+/** Store a little-endian 16/32/64-bit value to raw bytes. */
+inline void
+storeLe16(std::uint8_t* p, std::uint16_t v)
+{
+    p[0] = static_cast<std::uint8_t>(v);
+    p[1] = static_cast<std::uint8_t>(v >> 8);
+}
+
+inline void
+storeLe32(std::uint8_t* p, std::uint32_t v)
+{
+    p[0] = static_cast<std::uint8_t>(v);
+    p[1] = static_cast<std::uint8_t>(v >> 8);
+    p[2] = static_cast<std::uint8_t>(v >> 16);
+    p[3] = static_cast<std::uint8_t>(v >> 24);
+}
+
+inline void
+storeLe64(std::uint8_t* p, std::uint64_t v)
+{
+    storeLe32(p, static_cast<std::uint32_t>(v));
+    storeLe32(p + 4, static_cast<std::uint32_t>(v >> 32));
+}
+
+/** Load a big-endian 32/64-bit value (SHA-256 uses big-endian words). */
+inline std::uint32_t
+loadBe32(const std::uint8_t* p)
+{
+    return (std::uint32_t{p[0]} << 24) | (std::uint32_t{p[1]} << 16) |
+           (std::uint32_t{p[2]} << 8) | std::uint32_t{p[3]};
+}
+
+inline void
+storeBe32(std::uint8_t* p, std::uint32_t v)
+{
+    p[0] = static_cast<std::uint8_t>(v >> 24);
+    p[1] = static_cast<std::uint8_t>(v >> 16);
+    p[2] = static_cast<std::uint8_t>(v >> 8);
+    p[3] = static_cast<std::uint8_t>(v);
+}
+
+inline void
+storeBe64(std::uint8_t* p, std::uint64_t v)
+{
+    storeBe32(p, static_cast<std::uint32_t>(v >> 32));
+    storeBe32(p + 4, static_cast<std::uint32_t>(v));
+}
+
+/** Render bytes as lowercase hex. */
+inline std::string
+toHex(std::span<const std::uint8_t> bytes)
+{
+    static const char digits[] = "0123456789abcdef";
+    std::string out;
+    out.reserve(bytes.size() * 2);
+    for (std::uint8_t b : bytes) {
+        out.push_back(digits[b >> 4]);
+        out.push_back(digits[b & 0xf]);
+    }
+    return out;
+}
+
+/** Parse a hex string into bytes; returns empty on malformed input. */
+inline std::vector<std::uint8_t>
+fromHex(const std::string& hex)
+{
+    auto nibble = [](char c) -> int {
+        if (c >= '0' && c <= '9')
+            return c - '0';
+        if (c >= 'a' && c <= 'f')
+            return c - 'a' + 10;
+        if (c >= 'A' && c <= 'F')
+            return c - 'A' + 10;
+        return -1;
+    };
+    if (hex.size() % 2 != 0)
+        return {};
+    std::vector<std::uint8_t> out;
+    out.reserve(hex.size() / 2);
+    for (std::size_t i = 0; i < hex.size(); i += 2) {
+        int hi = nibble(hex[i]);
+        int lo = nibble(hex[i + 1]);
+        if (hi < 0 || lo < 0)
+            return {};
+        out.push_back(static_cast<std::uint8_t>((hi << 4) | lo));
+    }
+    return out;
+}
+
+/**
+ * Constant-time byte comparison. Used for every integrity-hash check so
+ * a malicious guest cannot learn hash prefixes through timing.
+ */
+inline bool
+constantTimeEqual(std::span<const std::uint8_t> a,
+                  std::span<const std::uint8_t> b)
+{
+    if (a.size() != b.size())
+        return false;
+    std::uint8_t acc = 0;
+    for (std::size_t i = 0; i < a.size(); ++i)
+        acc |= static_cast<std::uint8_t>(a[i] ^ b[i]);
+    return acc == 0;
+}
+
+} // namespace osh
+
+#endif // OSH_BASE_BYTES_HH

@@ -1,0 +1,106 @@
+#include "base/logging.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+namespace osh
+{
+
+namespace
+{
+
+void
+defaultSink(LogLevel level, const std::string& msg)
+{
+    const char* tag = "";
+    switch (level) {
+      case LogLevel::Inform: tag = "info: "; break;
+      case LogLevel::Warn:   tag = "warn: "; break;
+      case LogLevel::Fatal:  tag = "fatal: "; break;
+      case LogLevel::Panic:  tag = "panic: "; break;
+    }
+    std::fprintf(stderr, "%s%s\n", tag, msg.c_str());
+}
+
+LogSink gSink = defaultSink;
+
+} // namespace
+
+LogSink
+setLogSink(LogSink sink)
+{
+    LogSink prev = gSink;
+    gSink = sink ? sink : defaultSink;
+    return prev;
+}
+
+std::string
+vformatString(const char* fmt, std::va_list ap)
+{
+    std::va_list ap_copy;
+    va_copy(ap_copy, ap);
+    int needed = std::vsnprintf(nullptr, 0, fmt, ap_copy);
+    va_end(ap_copy);
+    if (needed < 0)
+        return std::string(fmt);
+    std::vector<char> buf(static_cast<std::size_t>(needed) + 1);
+    std::vsnprintf(buf.data(), buf.size(), fmt, ap);
+    return std::string(buf.data(), static_cast<std::size_t>(needed));
+}
+
+std::string
+formatString(const char* fmt, ...)
+{
+    std::va_list ap;
+    va_start(ap, fmt);
+    std::string s = vformatString(fmt, ap);
+    va_end(ap);
+    return s;
+}
+
+void
+panicImpl(const char* file, int line, const char* fmt, ...)
+{
+    std::va_list ap;
+    va_start(ap, fmt);
+    std::string msg = vformatString(fmt, ap);
+    va_end(ap);
+    gSink(LogLevel::Panic, formatString("%s:%d: %s", file, line,
+                                        msg.c_str()));
+    std::abort();
+}
+
+void
+fatalImpl(const char* file, int line, const char* fmt, ...)
+{
+    std::va_list ap;
+    va_start(ap, fmt);
+    std::string msg = vformatString(fmt, ap);
+    va_end(ap);
+    gSink(LogLevel::Fatal, formatString("%s:%d: %s", file, line,
+                                        msg.c_str()));
+    std::exit(1);
+}
+
+void
+warnImpl(const char* fmt, ...)
+{
+    std::va_list ap;
+    va_start(ap, fmt);
+    std::string msg = vformatString(fmt, ap);
+    va_end(ap);
+    gSink(LogLevel::Warn, msg);
+}
+
+void
+informImpl(const char* fmt, ...)
+{
+    std::va_list ap;
+    va_start(ap, fmt);
+    std::string msg = vformatString(fmt, ap);
+    va_end(ap);
+    gSink(LogLevel::Inform, msg);
+}
+
+} // namespace osh

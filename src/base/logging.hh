@@ -1,0 +1,73 @@
+/**
+ * @file
+ * gem5-style status and error reporting.
+ *
+ * panic()  — an internal invariant was violated (simulator bug); aborts.
+ * fatal()  — the user asked for something impossible (bad config); exits.
+ * warn()   — something questionable happened but simulation continues.
+ * inform() — purely informational status output.
+ */
+
+#ifndef OSH_BASE_LOGGING_HH
+#define OSH_BASE_LOGGING_HH
+
+#include <cstdarg>
+#include <string>
+
+namespace osh
+{
+
+/** Severity of a log message. */
+enum class LogLevel { Inform, Warn, Fatal, Panic };
+
+/**
+ * Sink invoked for every log message. Tests may replace it to capture
+ * output; the default writes to stderr.
+ */
+using LogSink = void (*)(LogLevel, const std::string&);
+
+/** Replace the global log sink; returns the previous sink. */
+LogSink setLogSink(LogSink sink);
+
+/** printf-style formatting helper used by the logging macros. */
+std::string vformatString(const char* fmt, std::va_list ap);
+
+/** printf-style formatting helper. */
+std::string formatString(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+[[noreturn]] void panicImpl(const char* file, int line, const char* fmt, ...)
+    __attribute__((format(printf, 3, 4)));
+
+[[noreturn]] void fatalImpl(const char* file, int line, const char* fmt, ...)
+    __attribute__((format(printf, 3, 4)));
+
+void warnImpl(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+void informImpl(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+} // namespace osh
+
+/** Abort: this should never happen regardless of what the user does. */
+#define osh_panic(...) ::osh::panicImpl(__FILE__, __LINE__, __VA_ARGS__)
+
+/** Exit: the simulation cannot continue due to a user/config error. */
+#define osh_fatal(...) ::osh::fatalImpl(__FILE__, __LINE__, __VA_ARGS__)
+
+/** Warn the user but continue. */
+#define osh_warn(...) ::osh::warnImpl(__VA_ARGS__)
+
+/** Informational status message. */
+#define osh_inform(...) ::osh::informImpl(__VA_ARGS__)
+
+/** panic() unless the condition holds. */
+#define osh_assert(cond, fmt, ...)                                          \
+    do {                                                                    \
+        if (!(cond)) {                                                      \
+            ::osh::panicImpl(__FILE__, __LINE__,                            \
+                             "assertion '%s' failed: " fmt, #cond,          \
+                             ##__VA_ARGS__);                                \
+        }                                                                   \
+    } while (0)
+
+#endif // OSH_BASE_LOGGING_HH

@@ -1,0 +1,55 @@
+#include "base/stats.hh"
+
+#include "base/logging.hh"
+
+#include <utility>
+
+namespace osh
+{
+
+StatGroup::StatGroup(std::string name) : name_(std::move(name))
+{
+}
+
+Counter&
+StatGroup::counter(const std::string& name)
+{
+    return counters_[name];
+}
+
+std::uint64_t
+StatGroup::value(const std::string& name) const
+{
+    auto it = counters_.find(name);
+    return it == counters_.end() ? 0 : it->second.value();
+}
+
+void
+StatGroup::resetAll()
+{
+    for (auto& [name, c] : counters_)
+        c.reset();
+}
+
+std::string
+StatGroup::dump() const
+{
+    std::string out;
+    for (const auto& [name, c] : counters_) {
+        out += formatString("%s.%s %llu\n", name_.c_str(), name.c_str(),
+                            static_cast<unsigned long long>(c.value()));
+    }
+    return out;
+}
+
+std::vector<std::pair<std::string, std::uint64_t>>
+StatGroup::snapshot() const
+{
+    std::vector<std::pair<std::string, std::uint64_t>> out;
+    out.reserve(counters_.size());
+    for (const auto& [name, c] : counters_)
+        out.emplace_back(name, c.value());
+    return out;
+}
+
+} // namespace osh

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Fundamental types shared by every Overshadow module.
+ *
+ * The simulated machine uses three address spaces, mirroring the paper's
+ * terminology:
+ *   - guest virtual addresses (GuestVA): what applications and the guest
+ *     kernel use;
+ *   - guest physical addresses (GPA): what the guest kernel believes is
+ *     physical memory;
+ *   - machine physical addresses (MPA): real (simulated) memory, assigned
+ *     by the VMM's pmap.
+ */
+
+#ifndef OSH_BASE_TYPES_HH
+#define OSH_BASE_TYPES_HH
+
+#include <cstddef>
+#include <cstdint>
+
+namespace osh
+{
+
+/** Guest virtual address. */
+using GuestVA = std::uint64_t;
+
+/** Guest physical address (what the guest OS manages). */
+using Gpa = std::uint64_t;
+
+/** Machine physical address (what the VMM manages). */
+using Mpa = std::uint64_t;
+
+/** Simulated-cycle count from the deterministic cost model. */
+using Cycles = std::uint64_t;
+
+/** Guest process identifier. */
+using Pid = std::int32_t;
+
+/** Guest address-space identifier (one per process, 0 = kernel). */
+using Asid = std::uint32_t;
+
+/** Cloaked protection-domain identifier (0 = uncloaked / system view). */
+using DomainId = std::uint32_t;
+
+/** Identifier of a cloaked resource (private memory region or file). */
+using ResourceId = std::uint64_t;
+
+constexpr std::uint64_t pageShift = 12;
+constexpr std::uint64_t pageSize = std::uint64_t{1} << pageShift;
+constexpr std::uint64_t pageOffsetMask = pageSize - 1;
+
+/** Round an address down to its page base. */
+constexpr std::uint64_t
+pageBase(std::uint64_t addr)
+{
+    return addr & ~pageOffsetMask;
+}
+
+/** Offset of an address within its page. */
+constexpr std::uint64_t
+pageOffset(std::uint64_t addr)
+{
+    return addr & pageOffsetMask;
+}
+
+/** Page number of an address. */
+constexpr std::uint64_t
+pageNumber(std::uint64_t addr)
+{
+    return addr >> pageShift;
+}
+
+/** Round a size up to a whole number of pages. */
+constexpr std::uint64_t
+roundUpToPage(std::uint64_t size)
+{
+    return (size + pageSize - 1) & ~pageOffsetMask;
+}
+
+/** Sentinel for "no address". */
+constexpr std::uint64_t badAddr = ~std::uint64_t{0};
+
+/** The system (uncloaked) view; see vmm/view.hh. */
+constexpr DomainId systemDomain = 0;
+
+} // namespace osh
+
+#endif // OSH_BASE_TYPES_HH

@@ -1,0 +1,697 @@
+#include "cloak/engine.hh"
+
+#include "base/bytes.hh"
+#include "base/logging.hh"
+#include "crypto/ctr.hh"
+#include "vmm/vcpu.hh"
+
+#include <cstring>
+
+namespace osh::cloak
+{
+
+namespace
+{
+
+/** Key-space tag keeping file keys disjoint from private resource ids. */
+constexpr ResourceId fileKeyTag = ResourceId{1} << 63;
+
+} // namespace
+
+crypto::Digest
+programIdentity(const std::string& program_name)
+{
+    crypto::Sha256 ctx;
+    ctx.update(std::string("osh-program:"));
+    ctx.update(program_name);
+    return ctx.final();
+}
+
+CloakEngine::CloakEngine(vmm::Vmm& vmm, std::uint64_t master_seed,
+                         std::size_t metadata_cache)
+    : vmm_(vmm), keys_(master_seed),
+      metadata_(vmm.machine().cost(), metadata_cache), stats_("cloak")
+{
+    vmm_.setCloakBackend(this);
+}
+
+CloakEngine::~CloakEngine()
+{
+    vmm_.setCloakBackend(nullptr);
+}
+
+std::span<std::uint8_t>
+CloakEngine::frameBytes(Gpa gpa)
+{
+    return vmm_.machine().memory().framePlain(
+        vmm_.pmap().translate(pageBase(gpa)));
+}
+
+Region*
+CloakEngine::findRegion(DomainId domain, Asid asid, GuestVA va_page)
+{
+    auto dit = domains_.find(domain);
+    if (dit == domains_.end())
+        return nullptr;
+    for (Region& r : dit->second.regions) {
+        if (r.asid == asid && r.contains(va_page))
+            return &r;
+    }
+    return nullptr;
+}
+
+Domain&
+CloakEngine::domainOf(DomainId id)
+{
+    auto it = domains_.find(id);
+    osh_assert(it != domains_.end(), "unknown domain %u", id);
+    return it->second;
+}
+
+Domain*
+CloakEngine::findDomain(DomainId id)
+{
+    auto it = domains_.find(id);
+    return it == domains_.end() ? nullptr : &it->second;
+}
+
+crypto::Digest
+CloakEngine::pageHash(const Resource& res, std::uint64_t page_index,
+                      const PageMeta& meta,
+                      std::span<const std::uint8_t> ciphertext)
+{
+    std::uint8_t header[40];
+    storeLe64(header, res.keyId);
+    storeLe64(header + 8, page_index);
+    storeLe64(header + 16, meta.version);
+    std::memcpy(header + 24, meta.iv.data(), meta.iv.size());
+    crypto::Sha256 ctx;
+    ctx.update(std::span<const std::uint8_t>(header, sizeof(header)));
+    ctx.update(ciphertext);
+    return ctx.final();
+}
+
+void
+CloakEngine::violation(Resource& res, std::uint64_t page_index,
+                       const std::string& reason)
+{
+    auditLog_.push_back({res.domain, res.id, page_index, reason});
+    stats_.counter("violations").inc();
+    Pid pid = 0;
+    if (Domain* d = findDomain(res.domain))
+        pid = d->pid;
+    osh_warn("cloak violation in domain %u (pid %d): %s", res.domain,
+             pid, reason.c_str());
+    throw vmm::ProcessKilled{
+        pid, formatString("cloak violation: %s", reason.c_str())};
+}
+
+void
+CloakEngine::encryptPage(Resource& res, std::uint64_t page_index,
+                         PageMeta& meta)
+{
+    osh_assert(meta.state != PageState::Encrypted,
+               "encryptPage on already-encrypted page");
+    osh_assert(meta.residentGpa != badAddr, "no resident plaintext");
+    Gpa gpa = meta.residentGpa;
+    auto frame = frameBytes(gpa);
+    auto& cost = vmm_.machine().cost();
+    const crypto::Aes128& cipher = keys_.pageCipher(res.keyId);
+
+    if (meta.state == PageState::PlaintextDirty || !cleanOptimization_ ||
+        meta.version == 0) {
+        vmm_.machine().rng().fill(meta.iv);
+        meta.version++;
+        crypto::aesCtrXcryptInPlace(cipher, meta.iv, frame);
+        meta.hash = pageHash(res, page_index, meta, frame);
+        cost.charge(cost.params().aesPerByte * pageSize +
+                    cost.params().shaPerByte * (pageSize + 40) +
+                    cost.params().cloakFaultFixed,
+                    "page_encrypt");
+        stats_.counter("page_encrypts").inc();
+    } else {
+        // Clean page: deterministic re-encryption under the stored IV
+        // reproduces the exact ciphertext the stored hash covers — no
+        // hashing, no metadata update.
+        crypto::aesCtrXcryptInPlace(cipher, meta.iv, frame);
+        cost.charge(cost.params().aesPerByte * pageSize +
+                    cost.params().cloakFaultFixed,
+                    "page_reencrypt_clean");
+        stats_.counter("clean_reencrypts").inc();
+    }
+
+    plaintextIndex_.erase(gpa);
+    meta.state = PageState::Encrypted;
+    meta.residentGpa = badAddr;
+    vmm_.invalidateMpa(vmm_.pmap().translate(gpa));
+}
+
+void
+CloakEngine::decryptAndVerify(Resource& res, std::uint64_t page_index,
+                              PageMeta& meta, Gpa gpa)
+{
+    auto frame = frameBytes(gpa);
+    auto& cost = vmm_.machine().cost();
+    cost.charge(cost.params().shaPerByte * (pageSize + 40) +
+                cost.params().aesPerByte * pageSize +
+                cost.params().cloakFaultFixed,
+                "page_decrypt");
+
+    crypto::Digest h = pageHash(res, page_index, meta, frame);
+    if (!constantTimeEqual(h, meta.hash)) {
+        violation(res, page_index,
+                  formatString("integrity check failed for resource "
+                               "%llu page %llu",
+                               static_cast<unsigned long long>(res.id),
+                               static_cast<unsigned long long>(
+                                   page_index)));
+    }
+    const crypto::Aes128& cipher = keys_.pageCipher(res.keyId);
+    crypto::aesCtrXcryptInPlace(cipher, meta.iv, frame);
+    stats_.counter("page_decrypts").inc();
+}
+
+vmm::ResolvedPage
+CloakEngine::resolvePage(const vmm::Context& ctx, GuestVA va_page,
+                         const vmm::GuestPte& pte, vmm::AccessType access)
+{
+    Gpa gpa = pageBase(pte.gpa);
+    Mpa mpa = vmm_.pmap().translate(gpa);
+
+    Region* region = nullptr;
+    if (ctx.view != systemDomain && !ctx.kernelMode)
+        region = findRegion(ctx.view, ctx.asid, va_page);
+
+    Resource* res = nullptr;
+    std::uint64_t page_index = 0;
+    if (region != nullptr) {
+        res = metadata_.find(region->resource);
+        if (res != nullptr) {
+            page_index = (va_page - region->start) / pageSize +
+                         region->resourcePageOffset;
+        }
+    }
+
+    // Never let a frame holding some other page's plaintext escape its
+    // owner's exclusive view.
+    auto pit = plaintextIndex_.find(gpa);
+    if (pit != plaintextIndex_.end()) {
+        bool self = res != nullptr && pit->second.resource == res->id &&
+                    pit->second.pageIndex == page_index;
+        if (!self) {
+            Resource* owner = metadata_.find(pit->second.resource);
+            if (owner != nullptr) {
+                PageMeta& ometa =
+                    metadata_.page(*owner, pit->second.pageIndex);
+                encryptPage(*owner, pit->second.pageIndex, ometa);
+            } else {
+                plaintextIndex_.erase(pit);
+            }
+            stats_.counter("foreign_plaintext_seals").inc();
+        }
+    }
+
+    if (res == nullptr) {
+        // System view, another domain's view, or an uncloaked page:
+        // plain passthrough (the frame now holds no foreign plaintext).
+        return {mpa, true, pte.writable};
+    }
+
+    auto& cost = vmm_.machine().cost();
+    PageMeta& meta = metadata_.page(*res, page_index);
+    stats_.counter("cloak_faults").inc();
+
+    if (!meta.initialized) {
+        // First touch: contents are VMM-defined (zero), regardless of
+        // what the kernel left in the frame.
+        auto frame = frameBytes(gpa);
+        std::memset(frame.data(), 0, frame.size());
+        // The kernel already charged the zero-fill; the VMM only pays
+        // its fixed fault cost for re-zeroing/validating.
+        cost.charge(cost.params().cloakFaultFixed, "cloak_zero_fill");
+        meta.initialized = true;
+        meta.state = PageState::PlaintextDirty;
+        meta.residentGpa = gpa;
+        plaintextIndex_[gpa] = {res->id, page_index};
+        vmm_.invalidateMpa(mpa);
+        return {mpa, true, pte.writable};
+    }
+
+    if (meta.state != PageState::Encrypted && meta.residentGpa != gpa) {
+        // The guest PTE points at a different frame than the one we
+        // know holds plaintext. No legitimate kernel path does this
+        // (paging always touches the frame, encrypting it first), so
+        // seal the old location and validate the new frame as a
+        // ciphertext image — which will fail unless the kernel somehow
+        // reproduced the exact sealed bytes.
+        if (auto old = plaintextIndex_.find(meta.residentGpa);
+            old != plaintextIndex_.end() &&
+            old->second.resource == res->id &&
+            old->second.pageIndex == page_index) {
+            encryptPage(*res, page_index, meta);
+        } else {
+            meta.state = PageState::Encrypted;
+            meta.residentGpa = badAddr;
+        }
+        stats_.counter("plaintext_relocations").inc();
+    }
+
+    switch (meta.state) {
+      case PageState::Encrypted:
+        decryptAndVerify(*res, page_index, meta, gpa);
+        meta.residentGpa = gpa;
+        plaintextIndex_[gpa] = {res->id, page_index};
+        vmm_.invalidateMpa(mpa);
+        if (access == vmm::AccessType::Write || !cleanOptimization_) {
+            meta.state = PageState::PlaintextDirty;
+            return {mpa, true, pte.writable};
+        }
+        // Map read-only so a later write faults and marks the page
+        // dirty; until then the stored (IV, hash) remain valid.
+        meta.state = PageState::PlaintextClean;
+        return {mpa, true, false};
+
+      case PageState::PlaintextClean:
+        if (access == vmm::AccessType::Write) {
+            meta.state = PageState::PlaintextDirty;
+            stats_.counter("clean_to_dirty").inc();
+            return {mpa, true, pte.writable};
+        }
+        return {mpa, true, false};
+
+      case PageState::PlaintextDirty:
+        return {mpa, true, pte.writable};
+    }
+    osh_panic("unreachable page state");
+}
+
+// ---------------------------------------------------------------------------
+// Domain / region management
+// ---------------------------------------------------------------------------
+
+DomainId
+CloakEngine::createDomain(Asid asid, Pid pid,
+                          const crypto::Digest& identity)
+{
+    DomainId id = nextDomain_++;
+    Domain& d = domains_[id];
+    d.id = id;
+    d.asid = asid;
+    d.pid = pid;
+    d.identity = identity;
+    stats_.counter("domains_created").inc();
+    return id;
+}
+
+void
+CloakEngine::teardownDomain(DomainId id)
+{
+    auto dit = domains_.find(id);
+    if (dit == domains_.end())
+        return;
+    Domain& d = dit->second;
+
+    for (Region& r : d.regions) {
+        Resource* res = metadata_.find(r.resource);
+        if (res == nullptr)
+            continue;
+        // Scrub any plaintext still resident: the kernel will reuse
+        // these frames and must find nothing.
+        for (auto& [idx, meta] : res->pages) {
+            if (meta.state != PageState::Encrypted &&
+                meta.residentGpa != badAddr) {
+                auto pit = plaintextIndex_.find(meta.residentGpa);
+                if (pit != plaintextIndex_.end() &&
+                    pit->second.resource == res->id &&
+                    pit->second.pageIndex == idx) {
+                    auto frame = frameBytes(meta.residentGpa);
+                    std::memset(frame.data(), 0, frame.size());
+                    vmm_.invalidateMpa(
+                        vmm_.pmap().translate(meta.residentGpa));
+                    plaintextIndex_.erase(pit);
+                }
+                meta.state = PageState::Encrypted;
+                meta.residentGpa = badAddr;
+            }
+        }
+        if (res->isFile) {
+            // Persist protection for the file before letting go.
+            sealFileResource(id, res->id);
+        }
+        metadata_.destroyResource(r.resource);
+    }
+    domains_.erase(dit);
+    stats_.counter("domains_destroyed").inc();
+}
+
+ResourceId
+CloakEngine::registerRegion(DomainId domain, GuestVA start,
+                            std::uint64_t pages, ResourceId resource,
+                            std::uint64_t resource_page_offset)
+{
+    Domain& d = domainOf(domain);
+    Resource* res = nullptr;
+    if (resource == 0) {
+        res = &metadata_.createResource(domain);
+    } else {
+        res = metadata_.find(resource);
+        osh_assert(res != nullptr, "register to unknown resource");
+        osh_assert(res->domain == domain,
+                   "register to another domain's resource");
+    }
+    Region r;
+    r.asid = d.asid;
+    r.start = pageBase(start);
+    r.end = r.start + pages * pageSize;
+    r.resource = res->id;
+    r.resourcePageOffset = resource_page_offset;
+    d.regions.push_back(r);
+    stats_.counter("regions_registered").inc();
+    // Existing (uncloaked) shadow mappings of this range are now wrong.
+    for (GuestVA va = r.start; va < r.end; va += pageSize)
+        vmm_.shadows().invalidateVa(d.asid, va);
+    vmm_.tlb().invalidateAsid(d.asid);
+    return res->id;
+}
+
+void
+CloakEngine::unregisterRegion(DomainId domain, GuestVA start)
+{
+    Domain& d = domainOf(domain);
+    for (auto it = d.regions.begin(); it != d.regions.end(); ++it) {
+        if (it->start != pageBase(start))
+            continue;
+        Resource* res = metadata_.find(it->resource);
+        if (res != nullptr) {
+            bool still_referenced = false;
+            for (const Region& other : d.regions) {
+                if (other.start != it->start &&
+                    other.resource == it->resource) {
+                    still_referenced = true;
+                }
+            }
+            bool dying = !still_referenced && !res->isFile;
+            // Scrub resident plaintext of this region's pages. If the
+            // data must survive (file resource, or still mapped
+            // elsewhere) encrypt it in place; if the resource dies with
+            // the region, zeroing is sufficient — and much cheaper.
+            for (auto& [idx, meta] : res->pages) {
+                if (meta.state == PageState::Encrypted ||
+                    meta.residentGpa == badAddr) {
+                    continue;
+                }
+                if (dying) {
+                    auto pit = plaintextIndex_.find(meta.residentGpa);
+                    if (pit != plaintextIndex_.end() &&
+                        pit->second.resource == res->id &&
+                        pit->second.pageIndex == idx) {
+                        auto frame = frameBytes(meta.residentGpa);
+                        std::memset(frame.data(), 0, frame.size());
+                        vmm_.invalidateMpa(
+                            vmm_.pmap().translate(meta.residentGpa));
+                        plaintextIndex_.erase(pit);
+                        auto& cost = vmm_.machine().cost();
+                        cost.charge(cost.params().pageZero,
+                                    "cloak_scrub_zero");
+                    }
+                    meta.state = PageState::Encrypted;
+                    meta.residentGpa = badAddr;
+                } else {
+                    encryptPage(*res, idx, meta);
+                }
+            }
+            if (dying)
+                metadata_.destroyResource(it->resource);
+        }
+        d.regions.erase(it);
+        stats_.counter("regions_unregistered").inc();
+        return;
+    }
+}
+
+void
+CloakEngine::bindCtc(DomainId domain, GuestVA ctc_va)
+{
+    Domain& d = domainOf(domain);
+    d.ctcVa = ctc_va;
+    d.ctcHashValid = false;
+}
+
+void
+CloakEngine::recordCtcHash(DomainId domain, const crypto::Digest& hash)
+{
+    Domain& d = domainOf(domain);
+    d.ctcHash = hash;
+    d.ctcHashValid = true;
+}
+
+bool
+CloakEngine::verifyCtcHash(DomainId domain, const crypto::Digest& hash) const
+{
+    auto it = domains_.find(domain);
+    if (it == domains_.end() || !it->second.ctcHashValid)
+        return false;
+    return constantTimeEqual(it->second.ctcHash, hash);
+}
+
+// ---------------------------------------------------------------------------
+// Fork
+// ---------------------------------------------------------------------------
+
+std::uint64_t
+CloakEngine::prepareFork(DomainId parent)
+{
+    osh_assert(domains_.count(parent), "prepareFork for unknown domain");
+    std::uint64_t token = nextForkToken_++;
+    PendingFork& pf = pendingForks_[token];
+    pf.parent = parent;
+    return token;
+}
+
+std::int64_t
+CloakEngine::snapshotFork(DomainId parent, std::uint64_t token)
+{
+    auto it = pendingForks_.find(token);
+    if (it == pendingForks_.end() || it->second.parent != parent ||
+        it->second.snapshotted) {
+        stats_.counter("fork_snapshot_rejected").inc();
+        return -1;
+    }
+    Domain* pd = findDomain(parent);
+    if (pd == nullptr)
+        return -1;
+    PendingFork& pf = it->second;
+
+    // Clone each resource *now*, while the child's eagerly copied page
+    // images exactly match the parent's just-encrypted metadata. The
+    // parent may re-encrypt its own pages afterwards without breaking
+    // the child. Clones are parked in the parent domain until attach.
+    std::map<ResourceId, ResourceId> cloned;
+    for (const Region& r : pd->regions) {
+        Resource* src = metadata_.find(r.resource);
+        if (src == nullptr)
+            continue;
+        // Protected files do not survive fork (the parent keeps its
+        // mapping; sharing page-cache plaintext across two domains is
+        // unsound). Children reopen protected files themselves.
+        if (src->isFile)
+            continue;
+        auto cit = cloned.find(r.resource);
+        ResourceId new_res;
+        if (cit == cloned.end()) {
+            new_res = metadata_.cloneResource(*src, parent).id;
+            cloned[r.resource] = new_res;
+        } else {
+            new_res = cit->second;
+        }
+        pf.regions.push_back({r, new_res});
+    }
+    pf.ctcVa = pd->ctcVa;
+    pf.snapshotted = true;
+    stats_.counter("fork_snapshots").inc();
+    return 0;
+}
+
+DomainId
+CloakEngine::forkAttach(Asid child_asid, Pid child_pid,
+                        std::uint64_t token)
+{
+    auto it = pendingForks_.find(token);
+    if (it == pendingForks_.end() || !it->second.snapshotted) {
+        stats_.counter("fork_attach_rejected").inc();
+        return systemDomain;
+    }
+    PendingFork pf = std::move(it->second);
+    pendingForks_.erase(it);
+    Domain* parent = findDomain(pf.parent);
+    if (parent == nullptr) {
+        for (const PendingRegion& pr : pf.regions)
+            metadata_.destroyResource(pr.clonedResource);
+        return systemDomain;
+    }
+
+    DomainId child_id =
+        createDomain(child_asid, child_pid, parent->identity);
+    Domain& child = domainOf(child_id);
+    child.ctcVa = pf.ctcVa;
+
+    // Mirror the parent's regions at the same virtual addresses (fork
+    // preserves the address-space layout), re-homing the clones.
+    for (const PendingRegion& pr : pf.regions) {
+        Resource* res = metadata_.find(pr.clonedResource);
+        if (res == nullptr)
+            continue;
+        res->domain = child_id;
+        Region nr = pr.region;
+        nr.asid = child_asid;
+        nr.resource = pr.clonedResource;
+        child.regions.push_back(nr);
+    }
+    stats_.counter("fork_attaches").inc();
+    return child_id;
+}
+
+// ---------------------------------------------------------------------------
+// Protected files
+// ---------------------------------------------------------------------------
+
+ResourceId
+CloakEngine::attachFileResource(DomainId domain, std::uint64_t file_key)
+{
+    Domain& d = domainOf(domain);
+    Resource& res = metadata_.createResource(domain, true, file_key);
+    res.keyId = fileKeyTag | file_key;
+
+    auto sit = sealedStore_.find(file_key);
+    if (sit != sealedStore_.end()) {
+        crypto::Digest seal_key = keys_.sealingKey(res.keyId);
+        if (!metadata_.unseal(sit->second, seal_key, d.identity, res)) {
+            stats_.counter("file_attach_rejected").inc();
+            metadata_.destroyResource(res.id);
+            return 0;
+        }
+    }
+    stats_.counter("file_attaches").inc();
+    return res.id;
+}
+
+std::int64_t
+CloakEngine::sealFileResource(DomainId domain, ResourceId resource)
+{
+    Domain& d = domainOf(domain);
+    Resource* res = metadata_.find(resource);
+    if (res == nullptr || res->domain != domain || !res->isFile)
+        return -1;
+    // Hashes must cover final contents: force-encrypt anything still
+    // plaintext.
+    for (auto& [idx, meta] : res->pages) {
+        if (meta.state != PageState::Encrypted &&
+            meta.residentGpa != badAddr) {
+            encryptPage(*res, idx, meta);
+        }
+    }
+    crypto::Digest seal_key = keys_.sealingKey(res->keyId);
+    sealedStore_[res->fileKey] = metadata_.seal(*res, seal_key,
+                                                d.identity);
+    stats_.counter("file_seals").inc();
+    return 0;
+}
+
+void
+CloakEngine::discardFileMetadata(std::uint64_t file_key)
+{
+    sealedStore_.erase(file_key);
+    stats_.counter("file_discards").inc();
+}
+
+// ---------------------------------------------------------------------------
+// Hypercalls
+// ---------------------------------------------------------------------------
+
+std::int64_t
+CloakEngine::hypercall(vmm::Vcpu& vcpu, vmm::Hypercall num,
+                       std::span<const std::uint64_t> args)
+{
+    const vmm::Context& ctx = vcpu.context();
+    auto arg = [&args](std::size_t i) -> std::uint64_t {
+        return i < args.size() ? args[i] : 0;
+    };
+
+    switch (num) {
+      case vmm::Hypercall::CloakRegisterRegion:
+        if (ctx.view == systemDomain)
+            return -1;
+        return static_cast<std::int64_t>(
+            registerRegion(ctx.view, arg(0), arg(1),
+                           static_cast<ResourceId>(arg(2)), arg(3)));
+
+      case vmm::Hypercall::CloakUnregisterRegion:
+        if (ctx.view == systemDomain)
+            return -1;
+        unregisterRegion(ctx.view, arg(0));
+        return 0;
+
+      case vmm::Hypercall::CloakRegisterThread:
+        if (ctx.view == systemDomain)
+            return -1;
+        bindCtc(ctx.view, arg(0));
+        return 0;
+
+      case vmm::Hypercall::CloakSealMetadata:
+        if (ctx.view == systemDomain)
+            return -1;
+        return sealFileResource(ctx.view,
+                                static_cast<ResourceId>(arg(0)));
+
+      case vmm::Hypercall::CloakPrepareFork:
+        if (ctx.view == systemDomain)
+            return -1;
+        return static_cast<std::int64_t>(prepareFork(ctx.view));
+
+      case vmm::Hypercall::CloakSnapshotFork:
+        if (ctx.view == systemDomain)
+            return -1;
+        return snapshotFork(ctx.view, arg(0));
+
+      case vmm::Hypercall::CloakForkAttach:
+        // The caller has no domain yet; its asid doubles as its pid in
+        // this system (see os::Process).
+        return static_cast<std::int64_t>(
+            forkAttach(ctx.asid, static_cast<Pid>(ctx.asid), arg(0)));
+
+      case vmm::Hypercall::CloakAttachFile:
+        if (ctx.view == systemDomain)
+            return -1;
+        return static_cast<std::int64_t>(
+            attachFileResource(ctx.view, arg(0)));
+
+      case vmm::Hypercall::CloakDiscardFile:
+        if (ctx.view == systemDomain)
+            return -1;
+        discardFileMetadata(arg(0));
+        return 0;
+
+      case vmm::Hypercall::CloakTeardownDomain:
+        if (ctx.view == systemDomain)
+            return -1;
+        teardownDomain(ctx.view);
+        return 0;
+
+      case vmm::Hypercall::CloakInfo:
+        switch (arg(0)) {
+          case 0: return static_cast<std::int64_t>(auditLog_.size());
+          case 1:
+            return static_cast<std::int64_t>(plaintextIndex_.size());
+          case 2: return static_cast<std::int64_t>(domains_.size());
+          default: return -1;
+        }
+
+      case vmm::Hypercall::CloakCreateDomain:
+        // Domain creation is part of the attested launch path and goes
+        // through the trusted runtime API, not a guest hypercall.
+        return -1;
+    }
+    return -1;
+}
+
+} // namespace osh::cloak

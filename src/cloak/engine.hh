@@ -1,0 +1,220 @@
+/**
+ * @file
+ * The cloak engine — Overshadow's core mechanism.
+ *
+ * Implements vmm::CloakBackend. On every shadow resolution it decides
+ * how the faulting context may see the page:
+ *
+ *   - The owning cloaked application sees plaintext. If the page is
+ *     currently encrypted, the engine decrypts it in place and verifies
+ *     its integrity hash first (any kernel tampering or replay is
+ *     caught here and kills the application rather than feeding it
+ *     corrupt data).
+ *   - Every other context — the kernel, other processes, other
+ *     domains — sees ciphertext. If the page is currently plaintext,
+ *     the engine encrypts it in place (fresh IV + hash + version bump
+ *     for dirty pages; cheap deterministic re-encryption for clean
+ *     ones) before the mapping is handed out.
+ *
+ * The per-frame "plaintext index" guarantees no frame ever leaves an
+ * application's exclusive view while still holding plaintext.
+ */
+
+#ifndef OSH_CLOAK_ENGINE_HH
+#define OSH_CLOAK_ENGINE_HH
+
+#include "base/stats.hh"
+#include "base/types.hh"
+#include "cloak/metadata.hh"
+#include "crypto/keys.hh"
+#include "sim/machine.hh"
+#include "vmm/hooks.hh"
+#include "vmm/vmm.hh"
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace osh::cloak
+{
+
+/** A cloaked VA range of one address space, backed by a resource. */
+struct Region
+{
+    Asid asid = 0;
+    GuestVA start = 0;
+    GuestVA end = 0;
+    ResourceId resource = 0;
+    /** Resource page index of the first page of the region. */
+    std::uint64_t resourcePageOffset = 0;
+
+    bool contains(GuestVA va) const { return va >= start && va < end; }
+};
+
+/** A protection domain: one cloaked application (+ forked children). */
+struct Domain
+{
+    DomainId id = systemDomain;
+    Asid asid = 0;
+    Pid pid = 0;
+    crypto::Digest identity{};   ///< Application identity (program hash).
+    std::vector<Region> regions;
+
+    /** Cloaked thread context page + VMM-held integrity hash. */
+    GuestVA ctcVa = 0;
+    crypto::Digest ctcHash{};
+    bool ctcHashValid = false;
+};
+
+/** One recorded protection violation. */
+struct AuditEvent
+{
+    DomainId domain;
+    ResourceId resource;
+    std::uint64_t pageIndex;
+    std::string reason;
+};
+
+/** The Overshadow cloak engine. */
+class CloakEngine : public vmm::CloakBackend
+{
+  public:
+    /**
+     * @param vmm The VMM to interpose on.
+     * @param master_seed Seed of the VMM master secret.
+     * @param metadata_cache Metadata-cache capacity (ablation knob).
+     */
+    CloakEngine(vmm::Vmm& vmm, std::uint64_t master_seed = 0x05ead0,
+                std::size_t metadata_cache = 1024);
+    ~CloakEngine() override;
+
+    // vmm::CloakBackend ---------------------------------------------------
+    vmm::ResolvedPage resolvePage(const vmm::Context& ctx, GuestVA va_page,
+                                  const vmm::GuestPte& pte,
+                                  vmm::AccessType access) override;
+    std::int64_t hypercall(vmm::Vcpu& vcpu, vmm::Hypercall num,
+                           std::span<const std::uint64_t> args) override;
+
+    // Trusted runtime services (modelling VMM<->shim cooperation) ---------
+
+    /** Create a domain for (asid, pid) with the given identity. */
+    DomainId createDomain(Asid asid, Pid pid,
+                          const crypto::Digest& identity);
+
+    /** Tear down a domain: purge plaintext index, destroy resources. */
+    void teardownDomain(DomainId id);
+
+    Domain* findDomain(DomainId id);
+
+    /** Register/unregister a cloaked VA range for a domain. */
+    ResourceId registerRegion(DomainId domain, GuestVA start,
+                              std::uint64_t pages,
+                              ResourceId resource = 0,
+                              std::uint64_t resource_page_offset = 0);
+    void unregisterRegion(DomainId domain, GuestVA start);
+
+    /** CTC handling used by the secure-control-transfer path. */
+    void bindCtc(DomainId domain, GuestVA ctc_va);
+    void recordCtcHash(DomainId domain, const crypto::Digest& hash);
+    bool verifyCtcHash(DomainId domain, const crypto::Digest& hash) const;
+
+    /** Fork support. The parent mints a token before the fork trap;
+     *  immediately after the trap returns (when the kernel has eagerly
+     *  copied the encrypted page images and the parent has not yet run)
+     *  it snapshots its metadata; the child consumes the snapshot. */
+    std::uint64_t prepareFork(DomainId parent);
+    std::int64_t snapshotFork(DomainId parent, std::uint64_t token);
+    DomainId forkAttach(Asid child_asid, Pid child_pid,
+                        std::uint64_t token);
+
+    /** Protected-file support. */
+    ResourceId attachFileResource(DomainId domain, std::uint64_t file_key);
+    std::int64_t sealFileResource(DomainId domain, ResourceId resource);
+    void discardFileMetadata(std::uint64_t file_key);
+
+    /** Sealed-bundle store (tests tamper with this directly). */
+    std::map<std::uint64_t, std::vector<std::uint8_t>>& sealedStore()
+    {
+        return sealedStore_;
+    }
+
+    MetadataStore& metadata() { return metadata_; }
+    const std::vector<AuditEvent>& auditLog() const { return auditLog_; }
+    StatGroup& stats() { return stats_; }
+
+    /** Enable/disable the clean-plaintext optimization (ablation). */
+    void setCleanOptimization(bool on) { cleanOptimization_ = on; }
+
+  private:
+    struct PlaintextRef
+    {
+        ResourceId resource;
+        std::uint64_t pageIndex;
+    };
+
+    Region* findRegion(DomainId domain, Asid asid, GuestVA va_page);
+    Domain& domainOf(DomainId id);
+
+    /** Encrypt the plaintext page of (resource,page) in place. */
+    void encryptPage(Resource& res, std::uint64_t page_index,
+                     PageMeta& meta);
+
+    /** Decrypt + verify the page image in @p gpa; throws on mismatch. */
+    void decryptAndVerify(Resource& res, std::uint64_t page_index,
+                          PageMeta& meta, Gpa gpa);
+
+    /** Integrity hash of a ciphertext page bound to its identity. */
+    crypto::Digest pageHash(const Resource& res, std::uint64_t page_index,
+                            const PageMeta& meta,
+                            std::span<const std::uint8_t> ciphertext);
+
+    [[noreturn]] void violation(Resource& res, std::uint64_t page_index,
+                                const std::string& reason);
+
+    std::span<std::uint8_t> frameBytes(Gpa gpa);
+
+    vmm::Vmm& vmm_;
+    crypto::KeyManager keys_;
+    MetadataStore metadata_;
+
+    std::map<DomainId, Domain> domains_;
+    DomainId nextDomain_ = 1;
+
+    /** Frames currently holding plaintext: gpa -> owner page. */
+    std::map<Gpa, PlaintextRef> plaintextIndex_;
+
+    /** One pre-cloned region awaiting a fork child. */
+    struct PendingRegion
+    {
+        Region region;          ///< Parent-relative template.
+        ResourceId clonedResource;
+    };
+
+    /** Outstanding fork authorizations. */
+    struct PendingFork
+    {
+        DomainId parent = systemDomain;
+        bool snapshotted = false;
+        std::vector<PendingRegion> regions;
+        GuestVA ctcVa = 0;
+    };
+    std::map<std::uint64_t, PendingFork> pendingForks_;
+    std::uint64_t nextForkToken_ = 0x4f56'0001;
+
+    /** Sealed metadata bundles keyed by file key. */
+    std::map<std::uint64_t, std::vector<std::uint8_t>> sealedStore_;
+
+    bool cleanOptimization_ = true;
+    std::vector<AuditEvent> auditLog_;
+    StatGroup stats_;
+};
+
+/** Application identity: hash of the program name (stands in for a
+ *  hash of the binary + shim in the paper). */
+crypto::Digest programIdentity(const std::string& program_name);
+
+} // namespace osh::cloak
+
+#endif // OSH_CLOAK_ENGINE_HH

@@ -1,0 +1,236 @@
+#include "cloak/metadata.hh"
+
+#include "base/bytes.hh"
+#include "base/logging.hh"
+#include "crypto/hmac.hh"
+
+#include <cstring>
+
+namespace osh::cloak
+{
+
+MetadataStore::MetadataStore(sim::CostModel& cost,
+                             std::size_t cache_capacity)
+    : cost_(cost), cacheCapacity_(cache_capacity), stats_("metadata")
+{
+    osh_assert(cache_capacity > 0, "metadata cache needs capacity");
+}
+
+Resource&
+MetadataStore::createResource(DomainId domain, bool is_file,
+                              std::uint64_t file_key)
+{
+    ResourceId id = nextId_++;
+    Resource& res = resources_[id];
+    res.id = id;
+    res.keyId = id;
+    res.domain = domain;
+    res.isFile = is_file;
+    res.fileKey = file_key;
+    stats_.counter("resources_created").inc();
+    return res;
+}
+
+Resource&
+MetadataStore::cloneResource(const Resource& src, DomainId new_domain)
+{
+    ResourceId id = nextId_++;
+    Resource& res = resources_[id];
+    res.id = id;
+    res.keyId = src.keyId;   // Alias the key: copied ciphertext stays
+                             // decryptable in the clone.
+    res.domain = new_domain;
+    res.isFile = src.isFile;
+    res.fileKey = src.fileKey;
+    res.pages = src.pages;
+    // Plaintext residency does not transfer: the kernel eagerly copied
+    // *encrypted* page images for the child.
+    for (auto& [idx, meta] : res.pages) {
+        if (meta.state != PageState::Encrypted && meta.initialized) {
+            // The parent's plaintext pages were encrypted on the fly by
+            // the kernel's fork copy, so by the time the clone is made
+            // every parent page it copied is Encrypted. Pages that were
+            // never encrypted keep their fresh state.
+            meta.state = PageState::Encrypted;
+        }
+        meta.residentGpa = badAddr;
+    }
+    stats_.counter("resources_cloned").inc();
+    return res;
+}
+
+Resource*
+MetadataStore::find(ResourceId id)
+{
+    auto it = resources_.find(id);
+    return it == resources_.end() ? nullptr : &it->second;
+}
+
+void
+MetadataStore::destroyResource(ResourceId id)
+{
+    resources_.erase(id);
+    stats_.counter("resources_destroyed").inc();
+}
+
+void
+MetadataStore::touchCache(ResourceId res, std::uint64_t page_index)
+{
+    CacheKey key{res, page_index};
+    auto it = cacheIndex_.find(key);
+    if (it != cacheIndex_.end()) {
+        lru_.splice(lru_.begin(), lru_, it->second);
+        cost_.charge(cost_.params().metadataHit, "metadata_hit");
+        return;
+    }
+    cost_.charge(cost_.params().metadataMiss, "metadata_miss");
+    lru_.push_front(key);
+    cacheIndex_[key] = lru_.begin();
+    while (cacheIndex_.size() > cacheCapacity_) {
+        cacheIndex_.erase(lru_.back());
+        lru_.pop_back();
+    }
+}
+
+PageMeta&
+MetadataStore::page(Resource& res, std::uint64_t page_index)
+{
+    auto it = res.pages.find(page_index);
+    if (it == res.pages.end()) {
+        // Freshly created metadata is born hot in the cache: there is
+        // nothing to fetch or verify.
+        CacheKey key{res.id, page_index};
+        cost_.charge(cost_.params().metadataHit, "metadata_hit");
+        lru_.push_front(key);
+        cacheIndex_[key] = lru_.begin();
+        while (cacheIndex_.size() > cacheCapacity_) {
+            cacheIndex_.erase(lru_.back());
+            lru_.pop_back();
+        }
+        return res.pages[page_index];
+    }
+    touchCache(res.id, page_index);
+    return it->second;
+}
+
+void
+MetadataStore::setCacheCapacity(std::size_t capacity)
+{
+    osh_assert(capacity > 0, "metadata cache needs capacity");
+    cacheCapacity_ = capacity;
+    while (cacheIndex_.size() > cacheCapacity_) {
+        cacheIndex_.erase(lru_.back());
+        lru_.pop_back();
+    }
+}
+
+std::vector<std::uint8_t>
+MetadataStore::seal(const Resource& res, const crypto::Digest& seal_key,
+                    const crypto::Digest& owner_identity)
+{
+    std::uint64_t version = ++sealVersions_[res.fileKey];
+
+    std::vector<std::uint8_t> out;
+    auto put64 = [&out](std::uint64_t v) {
+        std::uint8_t b[8];
+        storeLe64(b, v);
+        out.insert(out.end(), b, b + 8);
+    };
+
+    put64(res.fileKey);
+    put64(version);
+    out.insert(out.end(), owner_identity.begin(), owner_identity.end());
+    put64(res.pages.size());
+    for (const auto& [idx, meta] : res.pages) {
+        put64(idx);
+        put64(meta.version);
+        out.push_back(meta.initialized ? 1 : 0);
+        out.insert(out.end(), meta.iv.begin(), meta.iv.end());
+        out.insert(out.end(), meta.hash.begin(), meta.hash.end());
+    }
+
+    crypto::Digest mac = crypto::hmacSha256(seal_key, out);
+    out.insert(out.end(), mac.begin(), mac.end());
+    stats_.counter("seals").inc();
+    return out;
+}
+
+bool
+MetadataStore::unseal(std::span<const std::uint8_t> bundle,
+                      const crypto::Digest& seal_key,
+                      const crypto::Digest& owner_identity, Resource& dst)
+{
+    constexpr std::size_t mac_size = crypto::sha256DigestSize;
+    if (bundle.size() < 8 + 8 + mac_size + 32 + 8)
+        return false;
+
+    std::span<const std::uint8_t> body =
+        bundle.first(bundle.size() - mac_size);
+    std::span<const std::uint8_t> mac = bundle.last(mac_size);
+    crypto::Digest expect = crypto::hmacSha256(seal_key, body);
+    if (!constantTimeEqual(expect, mac)) {
+        stats_.counter("unseal_bad_mac").inc();
+        return false;
+    }
+
+    std::size_t pos = 0;
+    auto get64 = [&](std::uint64_t& v) {
+        v = loadLe64(body.data() + pos);
+        pos += 8;
+    };
+    std::uint64_t file_key, version;
+    get64(file_key);
+    get64(version);
+
+    crypto::Digest identity;
+    std::memcpy(identity.data(), body.data() + pos, identity.size());
+    pos += identity.size();
+    if (!constantTimeEqual(identity, owner_identity)) {
+        stats_.counter("unseal_bad_identity").inc();
+        return false;
+    }
+
+    // Rollback detection: refuse bundles older than the newest seal we
+    // have witnessed for this file key.
+    auto vit = sealVersions_.find(file_key);
+    if (vit != sealVersions_.end() && version < vit->second) {
+        stats_.counter("unseal_rollback").inc();
+        return false;
+    }
+
+    std::uint64_t count;
+    get64(count);
+    constexpr std::size_t per_page = 8 + 8 + 1 + 16 + 32;
+    if (body.size() - pos != count * per_page)
+        return false;
+
+    dst.fileKey = file_key;
+    dst.pages.clear();
+    for (std::uint64_t i = 0; i < count; ++i) {
+        std::uint64_t idx, pv;
+        get64(idx);
+        get64(pv);
+        PageMeta meta;
+        meta.version = pv;
+        meta.initialized = body[pos++] != 0;
+        std::memcpy(meta.iv.data(), body.data() + pos, meta.iv.size());
+        pos += meta.iv.size();
+        std::memcpy(meta.hash.data(), body.data() + pos,
+                    meta.hash.size());
+        pos += meta.hash.size();
+        meta.state = PageState::Encrypted;
+        meta.residentGpa = badAddr;
+        dst.pages[idx] = meta;
+    }
+    stats_.counter("unseals").inc();
+    return true;
+}
+
+std::uint64_t
+MetadataStore::lastSealedVersion(std::uint64_t file_key) const
+{
+    auto it = sealVersions_.find(file_key);
+    return it == sealVersions_.end() ? 0 : it->second;
+}
+
+} // namespace osh::cloak

@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Protection metadata.
+ *
+ * For every cloaked resource (a private memory region or a protected
+ * file) the VMM records, per page: the cloaking state, the IV used for
+ * its latest encryption, the SHA-256 integrity hash of the ciphertext
+ * (bound to the resource identity, page index and version), and a
+ * monotonically increasing version. Metadata lives in VMM-private
+ * memory — the guest can never touch it — and can be *sealed*
+ * (serialized + HMAC) for persistence alongside protected files.
+ *
+ * A capacity-bounded LRU models the paper's metadata cache: lookups
+ * charge metadataHit or metadataMiss cycles accordingly.
+ */
+
+#ifndef OSH_CLOAK_METADATA_HH
+#define OSH_CLOAK_METADATA_HH
+
+#include "base/stats.hh"
+#include "base/types.hh"
+#include "crypto/ctr.hh"
+#include "crypto/sha256.hh"
+#include "sim/cost_model.hh"
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+namespace osh::cloak
+{
+
+/** Cloaked-page states (the paper's page state machine). */
+enum class PageState : std::uint8_t
+{
+    Encrypted,       ///< Ciphertext; kernel view maps it RW.
+    PlaintextClean,  ///< Plaintext, unmodified since decryption; the
+                     ///< stored (IV, hash) are still valid, so handing
+                     ///< it back to the kernel needs no re-hash.
+    PlaintextDirty,  ///< Plaintext, modified; next encryption takes a
+                     ///< fresh IV, hash and version.
+};
+
+/** Per-page protection metadata. */
+struct PageMeta
+{
+    PageState state = PageState::Encrypted;
+    crypto::Iv iv{};
+    crypto::Digest hash{};
+    std::uint64_t version = 0;
+    bool initialized = false;     ///< Has this page ever held data?
+    Gpa residentGpa = badAddr;    ///< Frame holding plaintext (if any).
+};
+
+/** A cloaked resource: a keyed collection of page metadata. */
+struct Resource
+{
+    ResourceId id = 0;
+    /**
+     * Key identity: resources cloned across fork, and file resources
+     * re-attached across processes, share the key of their root so
+     * ciphertext remains decryptable. For private resources keyId==id.
+     */
+    ResourceId keyId = 0;
+    DomainId domain = systemDomain;
+    bool isFile = false;
+    std::uint64_t fileKey = 0;    ///< Stable file identity (path hash).
+    std::map<std::uint64_t, PageMeta> pages;
+};
+
+/**
+ * The metadata store: all resources plus the cache cost model and the
+ * sealed-bundle persistence for protected files.
+ */
+class MetadataStore
+{
+  public:
+    /**
+     * @param cost Cost model charged on lookups.
+     * @param cache_capacity Entries the hot metadata cache holds.
+     */
+    MetadataStore(sim::CostModel& cost, std::size_t cache_capacity = 1024);
+
+    /** Create a fresh resource. */
+    Resource& createResource(DomainId domain, bool is_file = false,
+                             std::uint64_t file_key = 0);
+
+    /** Clone a resource (fork): copies metadata, aliases the key. */
+    Resource& cloneResource(const Resource& src, DomainId new_domain);
+
+    Resource* find(ResourceId id);
+
+    /** Remove a resource entirely. */
+    void destroyResource(ResourceId id);
+
+    /**
+     * Look up (creating if absent) page metadata, charging the cache
+     * model.
+     */
+    PageMeta& page(Resource& res, std::uint64_t page_index);
+
+    /** Change the cache capacity (ablation benchmarks). */
+    void setCacheCapacity(std::size_t capacity);
+
+    // Sealing -------------------------------------------------------------
+
+    /**
+     * Serialize a resource's metadata and seal it with HMAC under
+     * @p seal_key, binding @p owner_identity. The bundle version is one
+     * greater than any previous seal of the same file key.
+     */
+    std::vector<std::uint8_t> seal(const Resource& res,
+                                   const crypto::Digest& seal_key,
+                                   const crypto::Digest& owner_identity);
+
+    /**
+     * Verify and import a sealed bundle into @p dst. Fails (false) on a
+     * bad MAC, an identity mismatch, or a rolled-back bundle version.
+     */
+    bool unseal(std::span<const std::uint8_t> bundle,
+                const crypto::Digest& seal_key,
+                const crypto::Digest& owner_identity, Resource& dst);
+
+    /** Latest sealed version seen for a file key (rollback floor). */
+    std::uint64_t lastSealedVersion(std::uint64_t file_key) const;
+
+    StatGroup& stats() { return stats_; }
+
+  private:
+    void touchCache(ResourceId res, std::uint64_t page_index);
+
+    sim::CostModel& cost_;
+    std::size_t cacheCapacity_;
+    std::map<ResourceId, Resource> resources_;
+    ResourceId nextId_ = 1;
+
+    /** LRU cache model: key = (resource, page). */
+    using CacheKey = std::pair<ResourceId, std::uint64_t>;
+    std::list<CacheKey> lru_;
+    std::map<CacheKey, std::list<CacheKey>::iterator> cacheIndex_;
+
+    /** Monotonic bundle versions per file key (rollback detection). */
+    std::map<std::uint64_t, std::uint64_t> sealVersions_;
+
+    StatGroup stats_;
+};
+
+} // namespace osh::cloak
+
+#endif // OSH_CLOAK_METADATA_HH

@@ -1,0 +1,63 @@
+#include "cloak/runtime.hh"
+
+#include "base/logging.hh"
+
+namespace osh::cloak
+{
+
+std::unique_ptr<Shim>
+OvershadowRuntime::launch(CloakEngine& engine, os::Env& env)
+{
+    os::Process& proc = env.process();
+    osh_assert(proc.cloaked, "launch of uncloaked program");
+
+    crypto::Digest identity = programIdentity(proc.programName);
+    DomainId domain = engine.createDomain(proc.as.asid(), proc.pid,
+                                          identity);
+    proc.domain = domain;
+
+    // The VMM confers the domain's view on the vCPU (attested launch).
+    env.vcpu().context().view = domain;
+    env.vcpu().vmm().chargeWorldSwitch("cloak_launch");
+
+    auto shim = std::make_unique<Shim>(engine, domain, env);
+    shim->initialize();
+    return shim;
+}
+
+std::unique_ptr<Shim>
+OvershadowRuntime::launchForked(CloakEngine& engine, os::Env& env,
+                                std::uint64_t fork_token,
+                                GuestVA parent_ctc, GuestVA parent_bounce)
+{
+    os::Process& proc = env.process();
+    osh_assert(proc.cloaked, "forked launch of uncloaked program");
+
+    std::array<std::uint64_t, 1> args{fork_token};
+    std::int64_t domain = env.vcpu().hypercall(
+        vmm::Hypercall::CloakForkAttach, args);
+    osh_assert(domain > 0, "fork attach rejected");
+    proc.domain = static_cast<DomainId>(domain);
+
+    env.vcpu().context().view = proc.domain;
+    env.vcpu().vmm().chargeWorldSwitch("cloak_fork_launch");
+
+    auto shim = std::make_unique<Shim>(engine, proc.domain, env);
+    shim->initialize(Shim::InheritedLayout{parent_ctc, parent_bounce});
+    return shim;
+}
+
+void
+OvershadowRuntime::teardown(CloakEngine& engine, os::Env& env, Shim* shim)
+{
+    if (shim != nullptr)
+        shim->detach();
+    os::Process& proc = env.process();
+    if (proc.domain != systemDomain) {
+        engine.teardownDomain(proc.domain);
+        proc.domain = systemDomain;
+    }
+    env.vcpu().context().view = systemDomain;
+}
+
+} // namespace osh::cloak

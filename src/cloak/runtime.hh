@@ -1,0 +1,49 @@
+/**
+ * @file
+ * The Overshadow runtime: attested launch of cloaked applications.
+ *
+ * In the paper, a cloaked application starts through a trusted loader:
+ * the VMM measures the shim, creates the protection domain and confers
+ * the application identity before any application code runs. This
+ * module models that path: it creates the domain, switches the vCPU
+ * into the domain's view, builds the shim (which registers regions,
+ * the CTC and the marshalling buffers) and installs the interposition
+ * hooks. It also handles the fork-child attach and final teardown.
+ */
+
+#ifndef OSH_CLOAK_RUNTIME_HH
+#define OSH_CLOAK_RUNTIME_HH
+
+#include "cloak/engine.hh"
+#include "cloak/shim.hh"
+#include "os/env.hh"
+
+#include <memory>
+
+namespace osh::cloak
+{
+
+/** Launch/teardown helpers for cloaked processes. */
+class OvershadowRuntime
+{
+  public:
+    /** Attested launch of a fresh cloaked program. */
+    static std::unique_ptr<Shim> launch(CloakEngine& engine, os::Env& env);
+
+    /**
+     * Attach a fork child to its parent's protection using the token
+     * the parent shim minted, inheriting the parent shim's layout.
+     */
+    static std::unique_ptr<Shim> launchForked(CloakEngine& engine,
+                                              os::Env& env,
+                                              std::uint64_t fork_token,
+                                              GuestVA parent_ctc,
+                                              GuestVA parent_bounce);
+
+    /** Final teardown when the process exits (any path). */
+    static void teardown(CloakEngine& engine, os::Env& env, Shim* shim);
+};
+
+} // namespace osh::cloak
+
+#endif // OSH_CLOAK_RUNTIME_HH

@@ -1,0 +1,629 @@
+#include "cloak/shim.hh"
+
+#include "base/bytes.hh"
+#include "base/logging.hh"
+#include "cloak/transfer.hh"
+#include "crypto/sha256.hh"
+
+#include <array>
+#include <cstring>
+
+namespace osh::cloak
+{
+
+using os::Sys;
+using os::SyscallArgs;
+
+Shim::Shim(CloakEngine& engine, DomainId domain, os::Env& env)
+    : engine_(engine), domain_(domain), env_(env)
+{
+    protectedPrefixes_.push_back("/cloaked");
+}
+
+std::uint64_t
+Shim::pathKey(const std::string& path)
+{
+    crypto::Digest d = crypto::Sha256::hash(std::span<const std::uint8_t>(
+        reinterpret_cast<const std::uint8_t*>(path.data()), path.size()));
+    return loadLe64(d.data());
+}
+
+void
+Shim::addProtectedPrefix(const std::string& prefix)
+{
+    protectedPrefixes_.push_back(prefix);
+}
+
+bool
+Shim::isProtectedPath(const std::string& path) const
+{
+    for (const std::string& p : protectedPrefixes_) {
+        if (path.rfind(p, 0) == 0)
+            return true;
+    }
+    return false;
+}
+
+std::uint64_t
+Shim::takePendingForkToken()
+{
+    osh_assert(!pendingForkTokens_.empty(),
+               "fork attach without a prepared token");
+    std::uint64_t token = pendingForkTokens_.back();
+    pendingForkTokens_.pop_back();
+    return token;
+}
+
+void
+Shim::initialize(const std::optional<InheritedLayout>& inherit)
+{
+    auto& vcpu = env_.vcpu();
+    auto hyper = [&vcpu](vmm::Hypercall num,
+                         std::initializer_list<std::uint64_t> a) {
+        std::array<std::uint64_t, 4> args{};
+        std::size_t i = 0;
+        for (std::uint64_t v : a)
+            args[i++] = v;
+        return vcpu.hypercall(num, std::span<const std::uint64_t>(
+                                       args.data(), i));
+    };
+
+    if (inherit) {
+        // Fork child: regions were attached by the VMM during fork
+        // attach; address-space layout (CTC, bounce) is inherited.
+        ctcVa_ = inherit->ctcVa;
+        bounceVa_ = inherit->bounceVa;
+    } else {
+        // Register the cloaked regions the loader created (stack,
+        // code) before the program touches them.
+        for (const auto& [start, vma] : env_.process().as.vmas()) {
+            if (!vma.cloaked)
+                continue;
+            hyper(vmm::Hypercall::CloakRegisterRegion,
+                  {vma.start, vma.pages(), 0, 0});
+        }
+
+        // Cloaked thread context page.
+        std::int64_t ctc = env_.trapToKernel(
+            Sys::Mmap, {pageSize, os::protRead | os::protWrite,
+                        os::mapAnon | os::mapCloaked, ~0ull, 0});
+        osh_assert(ctc > 0, "CTC allocation failed");
+        ctcVa_ = static_cast<GuestVA>(ctc);
+        hyper(vmm::Hypercall::CloakRegisterRegion, {ctcVa_, 1, 0, 0});
+
+        // Uncloaked bounce buffers for marshalling.
+        std::int64_t bounce = env_.trapToKernel(
+            Sys::Mmap, {bouncePages_ * pageSize,
+                        os::protRead | os::protWrite, os::mapAnon,
+                        ~0ull, 0});
+        osh_assert(bounce > 0, "bounce allocation failed");
+        bounceVa_ = static_cast<GuestVA>(bounce);
+    }
+
+    hyper(vmm::Hypercall::CloakRegisterThread, {ctcVa_});
+
+    env_.setInterposer(this);
+    env_.setTrapHook([this](os::Env& env, Sys num,
+                            const SyscallArgs& args) {
+        return SecureTransfer::aroundSyscall(engine_, domain_, env, num,
+                                             args);
+    });
+}
+
+void
+Shim::detach()
+{
+    env_.setInterposer(nullptr);
+    env_.setTrapHook(nullptr);
+}
+
+std::int64_t
+Shim::trap(Sys num, const SyscallArgs& args)
+{
+    return env_.trapToKernel(num, args);
+}
+
+void
+Shim::copyGuest(GuestVA dst, GuestVA src, std::uint64_t len)
+{
+    std::array<std::uint8_t, pageSize> buf;
+    std::uint64_t done = 0;
+    while (done < len) {
+        std::uint64_t n = std::min<std::uint64_t>(len - done, buf.size());
+        env_.readBytes(src + done,
+                       std::span<std::uint8_t>(buf.data(), n));
+        env_.writeBytes(dst + done,
+                        std::span<const std::uint8_t>(buf.data(), n));
+        done += n;
+    }
+}
+
+GuestVA
+Shim::stageString(const std::string& s, std::uint64_t slot)
+{
+    GuestVA va = bounceVa_ + bounceDataBytes + slot * 1024;
+    env_.writeString(va, s);
+    return va;
+}
+
+// ---------------------------------------------------------------------------
+// Marshalled calls
+// ---------------------------------------------------------------------------
+
+std::int64_t
+Shim::marshalledRead(Sys num, std::uint64_t fd, GuestVA user_buf,
+                     std::uint64_t len)
+{
+    std::uint64_t done = 0;
+    while (done < len) {
+        std::uint64_t chunk =
+            std::min<std::uint64_t>(len - done, bounceDataBytes);
+        std::int64_t rv = trap(num, {fd, bounceVa_, chunk});
+        if (rv < 0)
+            return done > 0 ? static_cast<std::int64_t>(done) : rv;
+        if (rv > 0)
+            copyGuest(user_buf + done, bounceVa_,
+                      static_cast<std::uint64_t>(rv));
+        done += static_cast<std::uint64_t>(rv);
+        // A short transfer means EOF or (for pipes) all that was
+        // available; do not trap again, which could block.
+        if (static_cast<std::uint64_t>(rv) < chunk)
+            break;
+    }
+    engine_.stats().counter("shim_marshalled_reads").inc();
+    return static_cast<std::int64_t>(done);
+}
+
+std::int64_t
+Shim::marshalledWrite(std::uint64_t fd, GuestVA user_buf,
+                      std::uint64_t len)
+{
+    std::uint64_t done = 0;
+    while (done < len) {
+        std::uint64_t chunk =
+            std::min<std::uint64_t>(len - done, bounceDataBytes);
+        copyGuest(bounceVa_, user_buf + done, chunk);
+        std::int64_t rv = trap(Sys::Write, {fd, bounceVa_, chunk});
+        if (rv < 0)
+            return done > 0 ? static_cast<std::int64_t>(done) : rv;
+        done += static_cast<std::uint64_t>(rv);
+        if (static_cast<std::uint64_t>(rv) < chunk)
+            break;
+    }
+    engine_.stats().counter("shim_marshalled_writes").inc();
+    return static_cast<std::int64_t>(done);
+}
+
+// ---------------------------------------------------------------------------
+// Protected-file emulation
+// ---------------------------------------------------------------------------
+
+std::int64_t
+Shim::openProtected(const std::string& path, std::uint64_t flags)
+{
+    auto& vcpu = env_.vcpu();
+    GuestVA staged = stageString(path, 0);
+    std::int64_t fd = trap(Sys::Open, {staged, flags});
+    if (fd < 0)
+        return fd;
+
+    std::uint64_t key = pathKey(path);
+    std::array<std::uint64_t, 1> key_arg{key};
+    if (flags & os::openTrunc)
+        vcpu.hypercall(vmm::Hypercall::CloakDiscardFile, key_arg);
+
+    std::int64_t res =
+        vcpu.hypercall(vmm::Hypercall::CloakAttachFile, key_arg);
+    if (res <= 0 && (flags & os::openCreate)) {
+        // A freshly created file found stale sealed metadata (e.g. the
+        // path was unlinked outside the shim): the creator explicitly
+        // authorizes a reset.
+        vcpu.hypercall(vmm::Hypercall::CloakDiscardFile, key_arg);
+        res = vcpu.hypercall(vmm::Hypercall::CloakAttachFile, key_arg);
+    }
+    if (res <= 0) {
+        trap(Sys::Close, {static_cast<std::uint64_t>(fd)});
+        return -os::errPerm;
+    }
+
+    // Size via a marshalled fstat.
+    GuestVA out = bounceVa_ + bounceDataBytes + 3 * 1024;
+    std::int64_t sr = trap(Sys::Fstat,
+                           {static_cast<std::uint64_t>(fd), out});
+    std::uint64_t size = 0;
+    if (sr == 0)
+        size = env_.load64(out); // StatBuf.size is the first field.
+
+    std::uint64_t map_pages =
+        std::max<std::uint64_t>(1, roundUpToPage(size) / pageSize);
+    std::int64_t mva = trap(Sys::Mmap,
+                            {map_pages * pageSize,
+                             os::protRead | os::protWrite,
+                             os::mapShared | os::mapCloaked,
+                             static_cast<std::uint64_t>(fd), 0});
+    if (mva < 0) {
+        trap(Sys::Close, {static_cast<std::uint64_t>(fd)});
+        return mva;
+    }
+    std::array<std::uint64_t, 4> reg{static_cast<std::uint64_t>(mva),
+                                     map_pages,
+                                     static_cast<std::uint64_t>(res), 0};
+    vcpu.hypercall(vmm::Hypercall::CloakRegisterRegion, reg);
+
+    CloakedFile cf;
+    cf.fd = static_cast<std::uint64_t>(fd);
+    cf.path = path;
+    cf.fileKey = key;
+    cf.resource = static_cast<ResourceId>(res);
+    cf.mapVa = static_cast<GuestVA>(mva);
+    cf.mapPages = map_pages;
+    cf.size = size;
+    cf.offset = 0;
+    cloakedFiles_[cf.fd] = cf;
+    engine_.stats().counter("shim_protected_opens").inc();
+    return fd;
+}
+
+std::int64_t
+Shim::emulatedRead(CloakedFile& cf, GuestVA buf, std::uint64_t len)
+{
+    if (cf.offset >= cf.size || len == 0)
+        return 0;
+    std::uint64_t n = std::min<std::uint64_t>(len, cf.size - cf.offset);
+    copyGuest(buf, cf.mapVa + cf.offset, n);
+    cf.offset += n;
+    engine_.stats().counter("shim_emulated_reads").inc();
+    return static_cast<std::int64_t>(n);
+}
+
+std::int64_t
+Shim::growMapping(CloakedFile& cf, std::uint64_t new_size)
+{
+    std::uint64_t new_pages = roundUpToPage(new_size) / pageSize;
+    if (new_pages <= cf.mapPages)
+        return 0;
+    // Grow with slack so streaming writes do not remap per page.
+    new_pages = std::max(new_pages, cf.mapPages * 2);
+
+    auto& vcpu = env_.vcpu();
+    std::array<std::uint64_t, 1> unreg{cf.mapVa};
+    vcpu.hypercall(vmm::Hypercall::CloakUnregisterRegion, unreg);
+    trap(Sys::Munmap, {cf.mapVa});
+
+    std::int64_t mva = trap(Sys::Mmap,
+                            {new_pages * pageSize,
+                             os::protRead | os::protWrite,
+                             os::mapShared | os::mapCloaked, cf.fd, 0});
+    if (mva < 0)
+        return mva;
+    std::array<std::uint64_t, 4> reg{static_cast<std::uint64_t>(mva),
+                                     new_pages, cf.resource, 0};
+    vcpu.hypercall(vmm::Hypercall::CloakRegisterRegion, reg);
+    cf.mapVa = static_cast<GuestVA>(mva);
+    cf.mapPages = new_pages;
+    engine_.stats().counter("shim_map_grows").inc();
+    return 0;
+}
+
+std::int64_t
+Shim::emulatedWrite(CloakedFile& cf, GuestVA buf, std::uint64_t len)
+{
+    if (len == 0)
+        return 0;
+    std::uint64_t new_end = cf.offset + len;
+    if (new_end > cf.mapPages * pageSize) {
+        std::int64_t r = growMapping(cf, new_end);
+        if (r < 0)
+            return r;
+    }
+    copyGuest(cf.mapVa + cf.offset, buf, len);
+    cf.offset = new_end;
+    if (new_end > cf.size) {
+        cf.size = new_end;
+        // Keep the kernel's idea of the size current so writeback and
+        // later opens see the full file.
+        trap(Sys::Ftruncate, {cf.fd, new_end});
+    }
+    engine_.stats().counter("shim_emulated_writes").inc();
+    return static_cast<std::int64_t>(len);
+}
+
+std::int64_t
+Shim::emulatedLseek(CloakedFile& cf, std::int64_t off,
+                    std::uint64_t whence)
+{
+    std::int64_t base;
+    switch (whence) {
+      case os::seekSet: base = 0; break;
+      case os::seekCur: base = static_cast<std::int64_t>(cf.offset); break;
+      case os::seekEnd: base = static_cast<std::int64_t>(cf.size); break;
+      default: return -os::errInval;
+    }
+    std::int64_t target = base + off;
+    if (target < 0)
+        return -os::errInval;
+    cf.offset = static_cast<std::uint64_t>(target);
+    return target;
+}
+
+std::int64_t
+Shim::closeProtected(std::uint64_t fd)
+{
+    auto it = cloakedFiles_.find(fd);
+    osh_assert(it != cloakedFiles_.end(), "closeProtected of unknown fd");
+    CloakedFile cf = it->second;
+    auto& vcpu = env_.vcpu();
+
+    trap(Sys::Fsync, {cf.fd});
+    std::array<std::uint64_t, 1> seal{cf.resource};
+    vcpu.hypercall(vmm::Hypercall::CloakSealMetadata, seal);
+    std::array<std::uint64_t, 1> unreg{cf.mapVa};
+    vcpu.hypercall(vmm::Hypercall::CloakUnregisterRegion, unreg);
+    trap(Sys::Munmap, {cf.mapVa});
+    std::int64_t r = trap(Sys::Close, {cf.fd});
+    cloakedFiles_.erase(it);
+    engine_.stats().counter("shim_protected_closes").inc();
+    return r;
+}
+
+// ---------------------------------------------------------------------------
+// Dispatch
+// ---------------------------------------------------------------------------
+
+std::int64_t
+Shim::shimOpen(const SyscallArgs& args)
+{
+    std::string path = env_.readString(args[0]);
+    std::uint64_t flags = args[1];
+    if (isProtectedPath(path))
+        return openProtected(path, flags);
+    GuestVA staged = stageString(path, 0);
+    return trap(Sys::Open, {staged, flags});
+}
+
+std::int64_t
+Shim::shimMmap(const SyscallArgs& args)
+{
+    std::int64_t rv = trap(Sys::Mmap, args);
+    if (rv > 0 && (args[2] & os::mapCloaked) && (args[2] & os::mapAnon)) {
+        std::uint64_t pages = roundUpToPage(args[0]) / pageSize;
+        std::array<std::uint64_t, 4> reg{static_cast<std::uint64_t>(rv),
+                                         pages, 0, 0};
+        env_.vcpu().hypercall(vmm::Hypercall::CloakRegisterRegion, reg);
+    }
+    return rv;
+}
+
+std::int64_t
+Shim::shimMunmap(const SyscallArgs& args)
+{
+    GuestVA va = args[0];
+    // If this VA starts a registered cloaked region, detach it first so
+    // the VMM scrubs/encrypts resident plaintext before the kernel
+    // recycles the frames.
+    if (Domain* d = engine_.findDomain(domain_)) {
+        for (const Region& r : d->regions) {
+            if (r.start == pageBase(va)) {
+                std::array<std::uint64_t, 1> unreg{va};
+                env_.vcpu().hypercall(
+                    vmm::Hypercall::CloakUnregisterRegion, unreg);
+                break;
+            }
+        }
+    }
+    return trap(Sys::Munmap, args);
+}
+
+std::int64_t
+Shim::shimFork(const SyscallArgs& args)
+{
+    std::int64_t token = env_.vcpu().hypercall(
+        vmm::Hypercall::CloakPrepareFork, {});
+    osh_assert(token > 0, "prepareFork failed");
+    pendingForkTokens_.push_back(static_cast<std::uint64_t>(token));
+    std::int64_t rv = trap(Sys::Fork, args);
+    // Snapshot immediately: the kernel just finished eagerly copying
+    // our encrypted page images for the child, and nothing has
+    // re-encrypted them yet. The child attaches to this snapshot.
+    std::array<std::uint64_t, 1> t{static_cast<std::uint64_t>(token)};
+    env_.vcpu().hypercall(vmm::Hypercall::CloakSnapshotFork, t);
+    return rv;
+}
+
+std::int64_t
+Shim::shimExec(const SyscallArgs& args)
+{
+    // Marshal the program name and argv blob out of cloaked memory
+    // while we still can.
+    std::string name = env_.readString(args[0]);
+    GuestVA staged_name = stageString(name, 0);
+    GuestVA staged_blob = 0;
+    std::uint64_t blob_len = args[2];
+    if (args[1] != 0 && blob_len != 0) {
+        staged_blob = bounceVa_;
+        copyGuest(staged_blob, args[1],
+                  std::min<std::uint64_t>(blob_len, bounceDataBytes));
+    }
+
+    // Dismantle this image's protection: exec replaces everything.
+    for (auto it = cloakedFiles_.begin(); it != cloakedFiles_.end();) {
+        std::uint64_t fd = it->first;
+        ++it;
+        closeProtected(fd);
+    }
+    auto& vcpu = env_.vcpu();
+    vcpu.hypercall(vmm::Hypercall::CloakTeardownDomain, {});
+    detach();
+    vcpu.context().view = systemDomain;
+
+    return env_.trapToKernel(Sys::Exec,
+                             {staged_name, staged_blob, blob_len});
+}
+
+std::int64_t
+Shim::syscall(os::Env& env, Sys num, const SyscallArgs& args)
+{
+    (void)env;
+    switch (num) {
+      case Sys::Open:
+        return shimOpen(args);
+
+      case Sys::Read:
+        if (auto it = cloakedFiles_.find(args[0]);
+            it != cloakedFiles_.end()) {
+            return emulatedRead(it->second, args[1], args[2]);
+        }
+        return marshalledRead(Sys::Read, args[0], args[1], args[2]);
+
+      case Sys::Write:
+        if (auto it = cloakedFiles_.find(args[0]);
+            it != cloakedFiles_.end()) {
+            return emulatedWrite(it->second, args[1], args[2]);
+        }
+        return marshalledWrite(args[0], args[1], args[2]);
+
+      case Sys::Lseek:
+        if (auto it = cloakedFiles_.find(args[0]);
+            it != cloakedFiles_.end()) {
+            return emulatedLseek(it->second,
+                                 static_cast<std::int64_t>(args[1]),
+                                 args[2]);
+        }
+        return trap(num, args);
+
+      case Sys::Close:
+        if (cloakedFiles_.count(args[0]))
+            return closeProtected(args[0]);
+        return trap(num, args);
+
+      case Sys::Ftruncate:
+        if (auto it = cloakedFiles_.find(args[0]);
+            it != cloakedFiles_.end()) {
+            CloakedFile& cf = it->second;
+            if (args[1] < cf.size)
+                return -os::errInval; // Shrink unsupported (see docs).
+            std::int64_t r = growMapping(cf, args[1]);
+            if (r < 0)
+                return r;
+            cf.size = args[1];
+            return trap(num, args);
+        }
+        return trap(num, args);
+
+      case Sys::Fsync:
+        if (auto it = cloakedFiles_.find(args[0]);
+            it != cloakedFiles_.end()) {
+            std::int64_t r = trap(num, args);
+            std::array<std::uint64_t, 1> seal{it->second.resource};
+            env_.vcpu().hypercall(vmm::Hypercall::CloakSealMetadata,
+                                  seal);
+            return r;
+        }
+        return trap(num, args);
+
+      case Sys::Fstat:
+        {
+            GuestVA out = bounceVa_ + bounceDataBytes + 3 * 1024;
+            std::int64_t r = trap(num, {args[0], out});
+            if (r == 0) {
+                if (auto it = cloakedFiles_.find(args[0]);
+                    it != cloakedFiles_.end()) {
+                    // The kernel's size lags emulated writes that have
+                    // not been truncated in yet; report the shim's.
+                    env_.store64(out, it->second.size);
+                }
+                copyGuest(args[1], out, sizeof(os::StatBuf));
+            }
+            return r;
+        }
+
+      case Sys::Unlink:
+        {
+            std::string path = env_.readString(args[0]);
+            GuestVA staged = stageString(path, 0);
+            std::int64_t r = trap(num, {staged});
+            if (r == 0 && isProtectedPath(path)) {
+                std::array<std::uint64_t, 1> key{pathKey(path)};
+                env_.vcpu().hypercall(vmm::Hypercall::CloakDiscardFile,
+                                      key);
+            }
+            return r;
+        }
+
+      case Sys::Mkdir:
+        {
+            std::string path = env_.readString(args[0]);
+            return trap(num, {stageString(path, 0)});
+        }
+
+      case Sys::Rename:
+        {
+            std::string from = env_.readString(args[0]);
+            std::string to = env_.readString(args[1]);
+            GuestVA f = stageString(from, 0);
+            GuestVA t = stageString(to, 1);
+            return trap(num, {f, t});
+        }
+
+      case Sys::ReadDir:
+        {
+            GuestVA out = bounceVa_ + bounceDataBytes + 2 * 1024;
+            std::uint64_t n = std::min<std::uint64_t>(args[3], 512);
+            std::int64_t r = trap(num, {args[0], args[1], out, n});
+            if (r >= 0)
+                copyGuest(args[2], out,
+                          static_cast<std::uint64_t>(r) + 1);
+            return r;
+        }
+
+      case Sys::Pipe:
+        {
+            GuestVA out = bounceVa_ + bounceDataBytes + 3 * 1024 + 256;
+            std::int64_t r = trap(num, {out});
+            if (r == 0)
+                copyGuest(args[0], out, 8);
+            return r;
+        }
+
+      case Sys::WaitPid:
+        {
+            GuestVA out = bounceVa_ + bounceDataBytes + 3 * 1024 + 512;
+            std::int64_t r = trap(num, {args[0], args[1] ? out : 0});
+            if (r > 0 && args[1] != 0)
+                copyGuest(args[1], out, 4);
+            return r;
+        }
+
+      case Sys::Spawn:
+        {
+            std::string name = env_.readString(args[0]);
+            GuestVA staged_name = stageString(name, 0);
+            GuestVA staged_blob = 0;
+            if (args[1] != 0 && args[2] != 0) {
+                staged_blob = bounceVa_;
+                copyGuest(staged_blob, args[1],
+                          std::min<std::uint64_t>(args[2],
+                                                  bounceDataBytes));
+            }
+            return trap(num, {staged_name, staged_blob, args[2]});
+        }
+
+      case Sys::Mmap:
+        return shimMmap(args);
+
+      case Sys::Munmap:
+        return shimMunmap(args);
+
+      case Sys::Fork:
+        return shimFork(args);
+
+      case Sys::Exec:
+        return shimExec(args);
+
+      default:
+        // Pass-through: no memory operands.
+        return trap(num, args);
+    }
+}
+
+} // namespace osh::cloak

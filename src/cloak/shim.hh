@@ -1,0 +1,151 @@
+/**
+ * @file
+ * The cloaked shim.
+ *
+ * Overshadow loads a small shim into every cloaked application. It
+ * interposes on all system calls and adapts each one so the untrusted
+ * kernel can service it without ever seeing plaintext:
+ *
+ *   - *Pass-through* calls carry no memory references (getpid, yield,
+ *     close, ...) and trap straight through.
+ *   - *Marshalled* calls carry buffers or strings; the shim copies them
+ *     between cloaked memory and an uncloaked bounce buffer and
+ *     rewrites the pointers, so the kernel only ever touches the
+ *     bounce pages.
+ *   - *Emulated* calls are file I/O on protected files: the shim maps
+ *     the cloaked file into the address space once and turns read()/
+ *     write()/lseek() into memory copies against the mapping — the
+ *     paper's "transparent memory-mapped emulation of I/O calls". Data
+ *     never crosses the kernel in plaintext, and the page cache holds
+ *     ciphertext from the kernel's point of view.
+ *
+ * Files under a protected prefix (default "/cloaked") are treated as
+ * protected; everything else (pipes, ordinary files) is marshalled.
+ */
+
+#ifndef OSH_CLOAK_SHIM_HH
+#define OSH_CLOAK_SHIM_HH
+
+#include "base/types.hh"
+#include "cloak/engine.hh"
+#include "os/env.hh"
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace osh::cloak
+{
+
+/** The per-process cloaked shim. */
+class Shim : public os::SyscallInterposer
+{
+  public:
+    /**
+     * @param engine The cloak engine.
+     * @param domain The domain this shim's process runs in.
+     * @param env The process's environment.
+     */
+    Shim(CloakEngine& engine, DomainId domain, os::Env& env);
+
+    /**
+     * Allocate the CTC page and bounce buffers, register the existing
+     * cloaked regions (stack, code) with the VMM and install the
+     * interposer + secure-trap hook on the Env.
+     *
+     * @param inherit_from Present for fork children: the parent shim's
+     *        layout (regions already attached via fork; only hooks and
+     *        tables need rebuilding).
+     */
+    struct InheritedLayout
+    {
+        GuestVA ctcVa;
+        GuestVA bounceVa;
+    };
+    void initialize(const std::optional<InheritedLayout>& inherit = {});
+
+    /** Tear down hooks (before exec / exit). */
+    void detach();
+
+    DomainId domain() const { return domain_; }
+    GuestVA ctcVa() const { return ctcVa_; }
+    GuestVA bounceVa() const { return bounceVa_; }
+
+    /** Cloak fork token minted at the last Fork syscall (consumed by
+     *  the system layer when starting the child). */
+    std::uint64_t takePendingForkToken();
+
+    /** Add a protected-path prefix (default "/cloaked"). */
+    void addProtectedPrefix(const std::string& prefix);
+    bool isProtectedPath(const std::string& path) const;
+
+    // os::SyscallInterposer ------------------------------------------------
+    std::int64_t syscall(os::Env& env, os::Sys num,
+                         const os::SyscallArgs& args) override;
+
+  private:
+    /** An open protected file, served via its cloaked mapping. */
+    struct CloakedFile
+    {
+        std::uint64_t fd = 0;
+        std::string path;
+        std::uint64_t fileKey = 0;
+        ResourceId resource = 0;
+        GuestVA mapVa = 0;
+        std::uint64_t mapPages = 0;
+        std::uint64_t size = 0;
+        std::uint64_t offset = 0;
+    };
+
+    /** Trap with secure control transfer. */
+    std::int64_t trap(os::Sys num, const os::SyscallArgs& args);
+
+    /** Guest-to-guest memory copy through a host staging buffer. */
+    void copyGuest(GuestVA dst, GuestVA src, std::uint64_t len);
+
+    /** Copy a string into the bounce area; returns its VA. */
+    GuestVA stageString(const std::string& s, std::uint64_t slot);
+
+    std::int64_t marshalledRead(os::Sys num, std::uint64_t fd,
+                                GuestVA user_buf, std::uint64_t len);
+    std::int64_t marshalledWrite(std::uint64_t fd, GuestVA user_buf,
+                                 std::uint64_t len);
+    std::int64_t shimOpen(const os::SyscallArgs& args);
+    std::int64_t shimMmap(const os::SyscallArgs& args);
+    std::int64_t shimMunmap(const os::SyscallArgs& args);
+    std::int64_t shimExec(const os::SyscallArgs& args);
+    std::int64_t shimFork(const os::SyscallArgs& args);
+
+    std::int64_t openProtected(const std::string& path,
+                               std::uint64_t flags);
+    std::int64_t emulatedRead(CloakedFile& cf, GuestVA buf,
+                              std::uint64_t len);
+    std::int64_t emulatedWrite(CloakedFile& cf, GuestVA buf,
+                               std::uint64_t len);
+    std::int64_t emulatedLseek(CloakedFile& cf, std::int64_t off,
+                               std::uint64_t whence);
+    std::int64_t growMapping(CloakedFile& cf, std::uint64_t new_size);
+    std::int64_t closeProtected(std::uint64_t fd);
+
+    static std::uint64_t pathKey(const std::string& path);
+
+    CloakEngine& engine_;
+    DomainId domain_;
+    os::Env& env_;
+
+    GuestVA ctcVa_ = 0;
+    GuestVA bounceVa_ = 0;
+    static constexpr std::uint64_t bouncePages_ = 20;
+    /** Bytes of bounce space usable for data staging. */
+    static constexpr std::uint64_t bounceDataBytes = 16 * pageSize;
+
+    std::map<std::uint64_t, CloakedFile> cloakedFiles_;
+    std::vector<std::string> protectedPrefixes_;
+    std::vector<std::uint64_t> pendingForkTokens_;
+};
+
+} // namespace osh::cloak
+
+#endif // OSH_CLOAK_SHIM_HH

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * AES-128 block cipher, implemented from scratch per FIPS-197.
+ *
+ * Overshadow's VMM encrypts cloaked pages with AES-128; this is the
+ * simulator's real implementation (pages really are ciphertext in the
+ * kernel's view). The implementation is a straightforward table-free
+ * version: S-box lookups plus xtime() for MixColumns. Speed is adequate
+ * because simulated crypto *cost* is charged by the cycle model, not
+ * measured from host time.
+ */
+
+#ifndef OSH_CRYPTO_AES_HH
+#define OSH_CRYPTO_AES_HH
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+namespace osh::crypto
+{
+
+/** AES-128 key and block sizes in bytes. */
+constexpr std::size_t aesKeySize = 16;
+constexpr std::size_t aesBlockSize = 16;
+
+using AesKey = std::array<std::uint8_t, aesKeySize>;
+using AesBlock = std::array<std::uint8_t, aesBlockSize>;
+
+/**
+ * An expanded AES-128 key. Construct once per key; encryptBlock() may
+ * then be called any number of times.
+ */
+class Aes128
+{
+  public:
+    /** Expand the given 128-bit key. */
+    explicit Aes128(const AesKey& key);
+
+    /** Encrypt one 16-byte block: out = E_k(in). in may alias out. */
+    void encryptBlock(const std::uint8_t* in, std::uint8_t* out) const;
+
+    /** Decrypt one 16-byte block: out = D_k(in). in may alias out. */
+    void decryptBlock(const std::uint8_t* in, std::uint8_t* out) const;
+
+  private:
+    static constexpr int numRounds = 10;
+
+    /** Round keys: (numRounds + 1) x 16 bytes. */
+    std::array<std::uint8_t, (numRounds + 1) * aesBlockSize> roundKeys_;
+};
+
+} // namespace osh::crypto
+
+#endif // OSH_CRYPTO_AES_HH

@@ -1,0 +1,50 @@
+#include "crypto/ctr.hh"
+
+#include "base/logging.hh"
+
+namespace osh::crypto
+{
+
+namespace
+{
+
+// Increment the low 64 bits of the counter block (big-endian), as in
+// NIST SP 800-38A appendix B.1.
+void
+incrementCounter(AesBlock& ctr)
+{
+    for (int i = 15; i >= 8; --i) {
+        if (++ctr[static_cast<std::size_t>(i)] != 0)
+            break;
+    }
+}
+
+} // namespace
+
+void
+aesCtrXcrypt(const Aes128& cipher, const Iv& iv,
+             std::span<const std::uint8_t> in, std::span<std::uint8_t> out)
+{
+    osh_assert(in.size() == out.size(),
+               "CTR input/output length mismatch");
+    AesBlock ctr = iv;
+    AesBlock keystream;
+    std::size_t pos = 0;
+    while (pos < in.size()) {
+        cipher.encryptBlock(ctr.data(), keystream.data());
+        std::size_t n = std::min(aesBlockSize, in.size() - pos);
+        for (std::size_t i = 0; i < n; ++i)
+            out[pos + i] = in[pos + i] ^ keystream[i];
+        incrementCounter(ctr);
+        pos += n;
+    }
+}
+
+void
+aesCtrXcryptInPlace(const Aes128& cipher, const Iv& iv,
+                    std::span<std::uint8_t> buf)
+{
+    aesCtrXcrypt(cipher, iv, buf, buf);
+}
+
+} // namespace osh::crypto

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * AES-128-CTR stream encryption.
+ *
+ * The cloak engine encrypts each page with AES-CTR under a per-resource
+ * key and a per-encryption 128-bit IV. CTR makes encrypt and decrypt the
+ * same operation and keeps page size unchanged, which is what lets the
+ * guest OS swap/copy ciphertext pages without knowing anything changed.
+ */
+
+#ifndef OSH_CRYPTO_CTR_HH
+#define OSH_CRYPTO_CTR_HH
+
+#include "crypto/aes.hh"
+
+#include <cstdint>
+#include <span>
+
+namespace osh::crypto
+{
+
+using Iv = std::array<std::uint8_t, aesBlockSize>;
+
+/**
+ * Encrypt or decrypt a buffer in CTR mode: out[i] = in[i] ^ E_k(iv + i/16).
+ * in and out may alias (in-place operation). Lengths need not be a
+ * multiple of the block size.
+ */
+void aesCtrXcrypt(const Aes128& cipher, const Iv& iv,
+                  std::span<const std::uint8_t> in,
+                  std::span<std::uint8_t> out);
+
+/** In-place convenience. */
+void aesCtrXcryptInPlace(const Aes128& cipher, const Iv& iv,
+                         std::span<std::uint8_t> buf);
+
+} // namespace osh::crypto
+
+#endif // OSH_CRYPTO_CTR_HH

@@ -1,0 +1,51 @@
+#include "crypto/hmac.hh"
+
+#include <cstring>
+
+namespace osh::crypto
+{
+
+HmacSha256::HmacSha256(std::span<const std::uint8_t> key)
+{
+    std::array<std::uint8_t, sha256BlockSize> k{};
+    if (key.size() > sha256BlockSize) {
+        Digest d = Sha256::hash(key);
+        std::memcpy(k.data(), d.data(), d.size());
+    } else {
+        std::memcpy(k.data(), key.data(), key.size());
+    }
+
+    std::array<std::uint8_t, sha256BlockSize> ipad;
+    for (std::size_t i = 0; i < sha256BlockSize; ++i) {
+        ipad[i] = static_cast<std::uint8_t>(k[i] ^ 0x36);
+        opad_[i] = static_cast<std::uint8_t>(k[i] ^ 0x5c);
+    }
+    inner_.update(ipad);
+}
+
+void
+HmacSha256::update(std::span<const std::uint8_t> data)
+{
+    inner_.update(data);
+}
+
+Digest
+HmacSha256::final()
+{
+    Digest inner_digest = inner_.final();
+    Sha256 outer;
+    outer.update(opad_);
+    outer.update(inner_digest);
+    return outer.final();
+}
+
+Digest
+hmacSha256(std::span<const std::uint8_t> key,
+           std::span<const std::uint8_t> data)
+{
+    HmacSha256 ctx(key);
+    ctx.update(data);
+    return ctx.final();
+}
+
+} // namespace osh::crypto

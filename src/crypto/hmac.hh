@@ -1,0 +1,40 @@
+/**
+ * @file
+ * HMAC-SHA256 (RFC 2104 / FIPS 198-1).
+ *
+ * Used to seal persisted protection metadata so that a malicious guest
+ * cannot forge or splice metadata for cloaked files.
+ */
+
+#ifndef OSH_CRYPTO_HMAC_HH
+#define OSH_CRYPTO_HMAC_HH
+
+#include "crypto/sha256.hh"
+
+#include <cstdint>
+#include <span>
+
+namespace osh::crypto
+{
+
+/** One-shot HMAC-SHA256 of data under key. */
+Digest hmacSha256(std::span<const std::uint8_t> key,
+                  std::span<const std::uint8_t> data);
+
+/** Streaming HMAC context. */
+class HmacSha256
+{
+  public:
+    explicit HmacSha256(std::span<const std::uint8_t> key);
+
+    void update(std::span<const std::uint8_t> data);
+    Digest final();
+
+  private:
+    Sha256 inner_;
+    std::array<std::uint8_t, sha256BlockSize> opad_;
+};
+
+} // namespace osh::crypto
+
+#endif // OSH_CRYPTO_HMAC_HH

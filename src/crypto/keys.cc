@@ -1,0 +1,52 @@
+#include "crypto/keys.hh"
+
+#include "base/bytes.hh"
+#include "crypto/hmac.hh"
+
+#include <cstring>
+
+namespace osh::crypto
+{
+
+KeyManager::KeyManager(std::uint64_t master_seed)
+{
+    std::uint8_t seed_bytes[16] = {};
+    storeLe64(seed_bytes, master_seed);
+    std::memcpy(seed_bytes + 8, "OSHMSTR!", 8);
+    master_ = Sha256::hash(seed_bytes);
+}
+
+AesKey
+KeyManager::deriveAesKey(ResourceId resource) const
+{
+    std::uint8_t info[16] = {};
+    storeLe64(info, resource);
+    std::memcpy(info + 8, "pagekey\0", 8);
+    Digest d = hmacSha256(master_, info);
+    AesKey key;
+    std::memcpy(key.data(), d.data(), key.size());
+    return key;
+}
+
+const Aes128&
+KeyManager::pageCipher(ResourceId resource)
+{
+    auto it = ciphers_.find(resource);
+    if (it == ciphers_.end()) {
+        it = ciphers_.emplace(resource,
+                              std::make_unique<Aes128>(
+                                  deriveAesKey(resource))).first;
+    }
+    return *it->second;
+}
+
+Digest
+KeyManager::sealingKey(ResourceId resource) const
+{
+    std::uint8_t info[16] = {};
+    storeLe64(info, resource);
+    std::memcpy(info + 8, "sealkey\0", 8);
+    return hmacSha256(master_, info);
+}
+
+} // namespace osh::crypto

@@ -1,0 +1,236 @@
+/**
+ * @file
+ * Env: the user-space view a guest program runs against.
+ *
+ * Every guest program receives an Env. It provides:
+ *   - guest memory access through the thread's Vcpu (all loads/stores
+ *     take the full MMU path: shadow faults, guest faults, cloaking);
+ *   - the system-call interface, with two interposition points used by
+ *     the Overshadow runtime: a SyscallInterposer (the cloaked shim,
+ *     which marshals/emulates calls) and a trap hook (the secure
+ *     control transfer that saves/scrubs/restores registers around
+ *     every kernel entry);
+ *   - user-side conveniences (typed syscall wrappers, signal handler
+ *     dispatch, fork bodies).
+ */
+
+#ifndef OSH_OS_ENV_HH
+#define OSH_OS_ENV_HH
+
+#include "base/types.hh"
+#include "os/exceptions.hh"
+#include "os/kernel.hh"
+#include "os/syscalls.hh"
+#include "os/thread.hh"
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace osh::os
+{
+
+class Env;
+
+/** Syscall arguments (r1..r5). */
+using SyscallArgs = std::array<std::uint64_t, 5>;
+
+/** Interposes on every syscall a program issues (the cloaked shim). */
+class SyscallInterposer
+{
+  public:
+    virtual ~SyscallInterposer() = default;
+    virtual std::int64_t syscall(Env& env, Sys num,
+                                 const SyscallArgs& args) = 0;
+};
+
+/** Services the system layer provides to Envs (fork-body registry). */
+class EnvRuntime
+{
+  public:
+    virtual ~EnvRuntime() = default;
+
+    /** Register a fork child body; returns the token passed to Fork. */
+    virtual std::uint64_t
+    registerForkBody(std::function<int(Env&)> body) = 0;
+};
+
+/** The user-space execution environment of one guest thread. */
+class Env
+{
+  public:
+    Env(Kernel& kernel, Thread& thread, EnvRuntime* runtime);
+
+    Thread& thread() { return thread_; }
+    Kernel& kernel() { return kernel_; }
+    Process& process() { return kernel_.process(thread_.pid); }
+    vmm::Vcpu& vcpu() { return thread_.vcpu; }
+    vmm::RegisterFile& regs() { return thread_.vcpu.regs(); }
+
+    /** Program arguments. */
+    const std::vector<std::string>& args() const;
+
+    // Guest memory (full MMU path) --------------------------------------
+    std::uint8_t load8(GuestVA va) { return thread_.vcpu.load8(va); }
+    std::uint64_t load64(GuestVA va) { return thread_.vcpu.load64(va); }
+    std::uint32_t load32(GuestVA va) { return thread_.vcpu.load32(va); }
+    void store8(GuestVA va, std::uint8_t v) { thread_.vcpu.store8(va, v); }
+    void store32(GuestVA va, std::uint32_t v)
+    {
+        thread_.vcpu.store32(va, v);
+    }
+    void store64(GuestVA va, std::uint64_t v)
+    {
+        thread_.vcpu.store64(va, v);
+    }
+    void
+    readBytes(GuestVA va, std::span<std::uint8_t> out)
+    {
+        thread_.vcpu.readBytes(va, out);
+    }
+    void
+    writeBytes(GuestVA va, std::span<const std::uint8_t> data)
+    {
+        thread_.vcpu.writeBytes(va, data);
+    }
+    void writeString(GuestVA va, const std::string& s);
+    std::string readString(GuestVA va, std::size_t max = 4096);
+
+    // Syscall plumbing ----------------------------------------------------
+
+    /**
+     * Issue a system call. Routed through the interposer when one is
+     * installed (cloaked processes); otherwise traps directly.
+     */
+    std::int64_t syscall(Sys num, SyscallArgs args = {});
+
+    /**
+     * Trap into the kernel, bypassing the interposer (the shim uses
+     * this after marshalling). Applies the trap hook (secure control
+     * transfer) if installed.
+     */
+    std::int64_t trapToKernel(Sys num, const SyscallArgs& args);
+
+    void setInterposer(SyscallInterposer* in) { interposer_ = in; }
+    SyscallInterposer* interposer() { return interposer_; }
+
+    /** Hook wrapping the raw kernel entry (set by the cloak runtime). */
+    using TrapHook =
+        std::function<std::int64_t(Env&, Sys, const SyscallArgs&)>;
+    void setTrapHook(TrapHook hook) { trapHook_ = std::move(hook); }
+
+    /** The bare kernel entry (used by the trap hook's inner call). */
+    std::int64_t rawKernelEntry(Sys num, const SyscallArgs& args);
+
+    // Typed wrappers -------------------------------------------------------
+    [[noreturn]] void exit(int status);
+    Pid getpid() { return static_cast<Pid>(syscall(Sys::GetPid)); }
+    Pid getppid() { return static_cast<Pid>(syscall(Sys::GetPpid)); }
+    void yield() { syscall(Sys::Yield); }
+    Cycles clock()
+    {
+        return static_cast<Cycles>(syscall(Sys::Clock));
+    }
+    void sleep(Cycles c) { syscall(Sys::Sleep, {c}); }
+
+    /** mmap; returns VA or negative error. */
+    std::int64_t mmap(std::uint64_t len, std::uint64_t prot,
+                      std::uint64_t flags, std::uint64_t fd = ~0ull,
+                      std::uint64_t offset = 0);
+    std::int64_t munmap(GuestVA va) { return syscall(Sys::Munmap, {va}); }
+
+    /**
+     * Allocate anonymous pages. Cloaked processes get cloaked pages by
+     * default (their heap is private data).
+     */
+    GuestVA allocPages(std::uint64_t pages);
+    GuestVA allocUncloakedPages(std::uint64_t pages);
+
+    std::int64_t open(const std::string& path, std::uint64_t flags);
+    std::int64_t close(std::uint64_t fd)
+    {
+        return syscall(Sys::Close, {fd});
+    }
+    std::int64_t read(std::uint64_t fd, GuestVA buf, std::uint64_t len)
+    {
+        return syscall(Sys::Read, {fd, buf, len});
+    }
+    std::int64_t write(std::uint64_t fd, GuestVA buf, std::uint64_t len)
+    {
+        return syscall(Sys::Write, {fd, buf, len});
+    }
+    std::int64_t lseek(std::uint64_t fd, std::int64_t off,
+                       std::uint64_t whence)
+    {
+        return syscall(Sys::Lseek,
+                       {fd, static_cast<std::uint64_t>(off), whence});
+    }
+    std::int64_t fstat(std::uint64_t fd, StatBuf& out);
+    std::int64_t unlink(const std::string& path);
+    std::int64_t mkdir(const std::string& path);
+    std::int64_t readdir(std::uint64_t fd, std::uint64_t index,
+                         std::string& name_out);
+    std::int64_t ftruncate(std::uint64_t fd, std::uint64_t size)
+    {
+        return syscall(Sys::Ftruncate, {fd, size});
+    }
+    std::int64_t fsync(std::uint64_t fd)
+    {
+        return syscall(Sys::Fsync, {fd});
+    }
+    std::int64_t rename(const std::string& from, const std::string& to);
+    std::int64_t pipe(int& read_fd, int& write_fd);
+    std::int64_t dup(std::uint64_t fd) { return syscall(Sys::Dup, {fd}); }
+
+    /** Convenience: write a whole string to a descriptor. */
+    std::int64_t writeAll(std::uint64_t fd, const std::string& data);
+    /** Convenience: read up to n bytes into a host string. */
+    std::string readSome(std::uint64_t fd, std::size_t n);
+
+    /** fork: the child runs @p child_body and exits with its result. */
+    Pid fork(std::function<int(Env&)> child_body);
+
+    /** spawn: start @p program as a child process (fork+exec combo). */
+    Pid spawn(const std::string& program,
+              const std::vector<std::string>& argv = {});
+
+    /** exec: replace this process image. Throws ExecRequested. */
+    [[noreturn]] void exec(const std::string& program,
+                           const std::vector<std::string>& argv = {});
+
+    std::int64_t waitpid(Pid pid, int* status = nullptr);
+    std::int64_t kill(Pid pid, int sig)
+    {
+        return syscall(Sys::Kill,
+                       {static_cast<std::uint64_t>(pid),
+                        static_cast<std::uint64_t>(sig)});
+    }
+
+    /** Register a user signal handler (runs at syscall boundaries). */
+    void onSignal(int sig, std::function<void(Env&, int)> handler);
+
+    /** Deliver any pending signal marker (called after each syscall). */
+    void pollSignals();
+
+  private:
+    /** Scratch page used to pass strings/argv blobs to the kernel. */
+    GuestVA scratch();
+
+    Kernel& kernel_;
+    Thread& thread_;
+    EnvRuntime* runtime_;
+    SyscallInterposer* interposer_ = nullptr;
+    TrapHook trapHook_;
+
+    GuestVA scratch_ = 0;
+    std::uint64_t nextHandlerToken_ = 1;
+    std::map<std::uint64_t, std::function<void(Env&, int)>> handlers_;
+    bool inSignalHandler_ = false;
+};
+
+} // namespace osh::os
+
+#endif // OSH_OS_ENV_HH

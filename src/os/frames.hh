@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Guest physical frame allocator.
+ *
+ * The guest kernel's view of physical memory: a fixed number of frames
+ * (the VMM backs each with a machine frame on first touch). Each frame
+ * carries bookkeeping describing what it currently holds, which the
+ * page-out daemon uses to pick eviction victims. Frames are reference
+ * counted to support copy-on-write sharing after fork.
+ */
+
+#ifndef OSH_OS_FRAMES_HH
+#define OSH_OS_FRAMES_HH
+
+#include "base/stats.hh"
+#include "base/types.hh"
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace osh::os
+{
+
+/** What a guest frame currently holds. */
+enum class FrameUse : std::uint8_t
+{
+    Free,
+    Anon,      ///< Private anonymous page of some process.
+    PageCache, ///< Cached page of a file.
+};
+
+/** Per-frame kernel bookkeeping. */
+struct FrameInfo
+{
+    FrameUse use = FrameUse::Free;
+    std::uint32_t refCount = 0;
+
+    // For Anon frames: the owning mapping (asid + va) — with COW a frame
+    // can be shared; we record the first owner and treat shared frames
+    // as unevictable for simplicity.
+    Asid asid = 0;
+    GuestVA vaPage = 0;
+
+    // For PageCache frames: owning inode and page index.
+    std::uint64_t inode = 0;
+    std::uint64_t pageIndex = 0;
+    bool dirty = false;
+
+    /** Pinned frames are never evicted. */
+    bool pinned = false;
+};
+
+/** Allocator and bookkeeping for guest physical frames. */
+class FrameAllocator
+{
+  public:
+    explicit FrameAllocator(std::uint64_t num_frames);
+
+    std::uint64_t numFrames() const { return frames_.size(); }
+    std::uint64_t freeFrames() const { return freeCount_; }
+    std::uint64_t usedFrames() const { return frames_.size() - freeCount_; }
+
+    /**
+     * Allocate one frame; returns its GPA, or nullopt when memory is
+     * exhausted (the caller then runs page-out and retries).
+     */
+    std::optional<Gpa> allocate(FrameUse use);
+
+    /** Increment the reference count (COW sharing). */
+    void ref(Gpa gpa);
+
+    /**
+     * Drop one reference; frees the frame when the count reaches zero.
+     * @return true if the frame was actually freed.
+     */
+    bool unref(Gpa gpa);
+
+    FrameInfo& info(Gpa gpa);
+    const FrameInfo& info(Gpa gpa) const;
+
+    /**
+     * Round-robin eviction cursor: returns the GPA of the next candidate
+     * frame (any non-free frame), advancing the clock hand. Returns
+     * nullopt if no frames are allocated at all.
+     */
+    std::optional<Gpa> nextEvictionCandidate();
+
+    StatGroup& stats() { return stats_; }
+
+  private:
+    std::uint64_t frameIndex(Gpa gpa) const;
+
+    std::vector<FrameInfo> frames_;
+    std::vector<std::uint64_t> freeList_;
+    std::uint64_t freeCount_;
+    std::uint64_t clockHand_ = 0;
+    StatGroup stats_;
+};
+
+} // namespace osh::os
+
+#endif // OSH_OS_FRAMES_HH

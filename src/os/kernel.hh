@@ -1,0 +1,320 @@
+/**
+ * @file
+ * The guest kernel.
+ *
+ * A small but real commodity-OS kernel: processes with demand-paged
+ * address spaces, COW fork, a page cache over a ramfs, anonymous-page
+ * swapping under memory pressure, pipes, signals and a round-robin
+ * scheduler. It implements vmm::GuestOsHooks, so the VMM walks its page
+ * tables and delivers guest page faults to it.
+ *
+ * The kernel is *untrusted* in Overshadow's threat model: it manages
+ * cloaked applications' resources but must never see their plaintext.
+ * A MaliceConfig lets tests turn it actively hostile (snooping buffers,
+ * tampering with swapped pages, replaying stale page contents) to
+ * verify the cloak engine detects every attack.
+ */
+
+#ifndef OSH_OS_KERNEL_HH
+#define OSH_OS_KERNEL_HH
+
+#include "base/stats.hh"
+#include "base/types.hh"
+#include "os/frames.hh"
+#include "os/process.hh"
+#include "os/program.hh"
+#include "os/swap.hh"
+#include "os/thread.hh"
+#include "os/vfs.hh"
+#include "vmm/hooks.hh"
+#include "vmm/vmm.hh"
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace osh::os
+{
+
+/**
+ * Interface the system layer implements to create guest threads for
+ * new processes (the kernel cannot do it: thread bodies need the
+ * Overshadow runtime wiring that lives above the OS).
+ */
+class ProcessHost
+{
+  public:
+    virtual ~ProcessHost() = default;
+
+    /** Start the thread of a freshly created/spawned process. */
+    virtual void startProgram(Process& proc) = 0;
+
+    /**
+     * Start the thread of a fork child. @p token identifies the
+     * parent-registered child body.
+     */
+    virtual void startForkChild(Process& parent, Process& child,
+                                std::uint64_t token) = 0;
+
+    /** Called after a process fully exited (cloak teardown etc.). */
+    virtual void onProcessExit(Process& proc) = 0;
+};
+
+/** Knobs that make the kernel actively malicious (attack tests). */
+struct MaliceConfig
+{
+    /** Record every page the kernel reads while snooping user memory at
+     *  each syscall entry (privacy probes). */
+    bool snoopUserMemory = false;
+    GuestVA snoopVa = 0;
+    std::vector<std::vector<std::uint8_t>> snoopedData;
+
+    /** Scribble over user memory at snoopVa on each syscall entry
+     *  (direct kernel tampering with application state). */
+    bool scribbleUserMemory = false;
+
+    /** Flip a byte of every page written to swap. */
+    bool tamperSwap = false;
+
+    /** Replay: on swap-in, return the *first* version ever swapped out
+     *  for that slot owner instead of the latest. */
+    bool replaySwap = false;
+    std::map<std::uint64_t, std::array<std::uint8_t, pageSize>> firstVersions;
+
+    /** Scribble over the user buffer after read() completes. */
+    bool corruptReadBuffers = false;
+
+    /** Record register files observed at syscall entry (to prove
+     *  scrubbing hides cloaked registers). */
+    bool recordTrapFrames = false;
+    std::vector<vmm::RegisterFile> trapFrames;
+};
+
+/** The guest kernel. */
+class Kernel : public vmm::GuestOsHooks
+{
+  public:
+    /**
+     * @param vmm The VMM this guest runs on.
+     * @param sched Scheduler shared with the system layer.
+     * @param programs Program registry ("/bin").
+     */
+    Kernel(vmm::Vmm& vmm, Scheduler& sched, ProgramRegistry& programs);
+    ~Kernel() override;
+
+    void setProcessHost(ProcessHost* host) { host_ = host; }
+
+    /**
+     * Whether Overshadow is present on this system. When false (native
+     * baseline), programs marked cloaked run as ordinary processes:
+     * no cloaked VMAs, ordinary COW fork.
+     */
+    void setCloakingAvailable(bool available)
+    {
+        cloakingAvailable_ = available;
+    }
+
+    // GuestOsHooks ------------------------------------------------------
+    vmm::GuestPte translateGuest(Asid asid, GuestVA va) override;
+    void handleGuestPageFault(vmm::Vcpu& vcpu, GuestVA va,
+                              vmm::AccessType access) override;
+    void notifyWrite(Asid asid, GuestVA va_page) override;
+
+    // Process lifecycle -------------------------------------------------
+
+    /**
+     * Create a process structure (no thread yet) for a program. The
+     * host starts its thread; the image is built by setupProcessImage.
+     */
+    Process& createProcess(const std::string& program,
+                           std::vector<std::string> argv, Pid ppid = 0);
+
+    /** Build the initial VMAs (stack, code) for a program image. */
+    void setupProcessImage(Process& proc, const Program& program);
+
+    /** Bind a guest thread to its process (host calls this). */
+    void bindThread(Pid pid, Thread& thread);
+
+    Thread* threadOf(Pid pid);
+
+    /** Terminate a process; throws if it is the current one. */
+    void killProcess(Process& proc, const std::string& reason);
+
+    /** Release every resource of a process (exit/exec). */
+    void teardownAddressSpace(Process& proc);
+
+    /** Full exit path for the current process. Does not return. */
+    [[noreturn]] void exitCurrent(int status);
+
+    /**
+     * Final teardown after a thread body unwinds (exit, kill or cloak
+     * violation): release the address space, close descriptors, mark
+     * the process zombie and wake waiters. Never throws.
+     */
+    void finalizeExit(Process& proc, int status);
+
+    // Syscalls -----------------------------------------------------------
+
+    /**
+     * Kernel entry for a trapped system call: arguments in the thread's
+     * registers (r0 = number, r1..r5 = args), result returned and also
+     * written to r0. Runs in kernel mode; may block.
+     */
+    std::int64_t syscallEntry(Thread& thread);
+
+    /** Timer interrupt: scheduling tick (+ pending kill/signal checks). */
+    void timerTick(Thread& thread);
+
+    // Components ---------------------------------------------------------
+    vmm::Vmm& vmm() { return vmm_; }
+    Scheduler& sched() { return sched_; }
+    Vfs& vfs() { return vfs_; }
+    FrameAllocator& frames() { return frames_; }
+    SwapDevice& swap() { return swap_; }
+    ProgramRegistry& programs() { return programs_; }
+    MaliceConfig& malice() { return malice_; }
+    StatGroup& stats() { return stats_; }
+
+    Process* findProcess(Pid pid);
+    Process& process(Pid pid);
+    Process& currentProcess();
+    Thread& currentThread();
+
+    /** All pids (tests/inspection). */
+    std::vector<Pid> pids() const;
+
+    // User-memory helpers (kernel view!) ----------------------------------
+    bool validUserRange(Process& proc, GuestVA va, std::uint64_t len,
+                        bool write);
+    void copyToUser(Thread& t, GuestVA va,
+                    std::span<const std::uint8_t> data);
+    void copyFromUser(Thread& t, GuestVA va, std::span<std::uint8_t> out);
+    std::string readUserString(Thread& t, GuestVA va,
+                               std::size_t max = 4096);
+
+  private:
+    friend class KernelModeGuard;
+
+    // Memory management ----------------------------------------------------
+    Gpa allocFrameOrEvict(FrameUse use);
+    bool evictOneFrame();
+    void swapOutAnon(Gpa gpa);
+    void swapIn(Process& proc, GuestVA va_page, Pte& pte, const Vma& vma);
+    void dropPageCachePage(Inode& ino, std::uint64_t page_index);
+
+    /**
+     * Write one dirty cached page to the disk image. @p charge_seek
+     * distinguishes a random single-page writeback (eviction) from a
+     * page inside a batched fsync, which pays the seek only once.
+     */
+    void writebackPage(Inode& ino, std::uint64_t page_index,
+                       bool charge_seek = true);
+    PageCacheEntry& ensureCached(InodeId ino_id, std::uint64_t page_index);
+    void breakCow(Process& proc, GuestVA va_page, Pte& pte);
+    void addAnonMapping(Gpa gpa, Asid asid, GuestVA va_page);
+    void dropAnonMapping(Gpa gpa, Asid asid, GuestVA va_page);
+    void releasePte(Process& proc, GuestVA va_page, Pte& pte);
+
+    /** Copy one whole frame through the kernel view (cloak-visible). */
+    void readFrameAsKernel(Thread& t, Gpa gpa,
+                           std::span<std::uint8_t> out);
+    void writeFrameAsKernel(Thread& t, Gpa gpa,
+                            std::span<const std::uint8_t> data);
+
+    // Syscall implementations ----------------------------------------------
+    std::int64_t sysExit(Thread& t, std::int64_t status);
+    std::int64_t sysMmap(Thread& t, std::uint64_t len, std::uint64_t prot,
+                         std::uint64_t flags, std::uint64_t fd,
+                         std::uint64_t offset);
+    std::int64_t sysMunmap(Thread& t, GuestVA va);
+    std::int64_t sysOpen(Thread& t, GuestVA path_va, std::uint64_t flags);
+    std::int64_t sysClose(Thread& t, std::uint64_t fd);
+    std::int64_t sysRead(Thread& t, std::uint64_t fd, GuestVA buf,
+                         std::uint64_t len);
+    std::int64_t sysWrite(Thread& t, std::uint64_t fd, GuestVA buf,
+                          std::uint64_t len);
+    std::int64_t sysLseek(Thread& t, std::uint64_t fd, std::int64_t off,
+                          std::uint64_t whence);
+    std::int64_t sysFstat(Thread& t, std::uint64_t fd, GuestVA out_va);
+    std::int64_t sysReadDir(Thread& t, std::uint64_t fd,
+                            std::uint64_t index, GuestVA buf,
+                            std::uint64_t buf_len);
+    std::int64_t sysFtruncate(Thread& t, std::uint64_t fd,
+                              std::uint64_t size);
+    std::int64_t sysFsync(Thread& t, std::uint64_t fd);
+    std::int64_t sysPipe(Thread& t, GuestVA fds_out);
+    std::int64_t sysDup(Thread& t, std::uint64_t fd);
+    std::int64_t sysSpawn(Thread& t, GuestVA name_va, GuestVA argv_va,
+                          std::uint64_t argv_len);
+    std::int64_t sysFork(Thread& t, std::uint64_t token);
+    std::int64_t sysExec(Thread& t, GuestVA name_va, GuestVA argv_va,
+                         std::uint64_t argv_len);
+    std::int64_t sysWaitPid(Thread& t, std::int64_t pid, GuestVA status_va);
+    std::int64_t sysKill(Thread& t, std::int64_t pid, std::uint64_t sig);
+    std::int64_t sysSigAction(Thread& t, std::uint64_t sig,
+                              std::uint64_t token);
+
+    std::int64_t pipeRead(Thread& t, OpenFile& f, GuestVA buf,
+                          std::uint64_t len);
+    std::int64_t pipeWrite(Thread& t, OpenFile& f, GuestVA buf,
+                           std::uint64_t len);
+    void closeFile(Process& proc, std::shared_ptr<OpenFile>& slot);
+
+    /** Parse a spawn/exec argv blob from user memory. */
+    std::vector<std::string> readArgvBlob(Thread& t, GuestVA va,
+                                          std::uint64_t len);
+
+    /** Throw ProcessKilled if someone requested our death. */
+    void checkKillRequested(Thread& t);
+
+    /** Queue signal-delivery marker for the runtime, if any pending. */
+    void maybeDeliverSignal(Thread& t);
+
+    vmm::Vmm& vmm_;
+    Scheduler& sched_;
+    ProgramRegistry& programs_;
+    Vfs vfs_;
+    FrameAllocator frames_;
+    SwapDevice swap_;
+    ProcessHost* host_ = nullptr;
+
+    std::map<Pid, std::unique_ptr<Process>> processes_;
+    std::map<Pid, Thread*> threads_;
+    Pid nextPid_ = 1;
+
+    /** Reverse map: anon frame -> (asid, va) mappers (COW sharing). */
+    std::map<Gpa, std::vector<std::pair<Asid, GuestVA>>> anonMappers_;
+
+    bool cloakingAvailable_ = true;
+    MaliceConfig malice_;
+    StatGroup stats_;
+};
+
+/** RAII: switch a thread's vcpu into kernel mode (system view). */
+class KernelModeGuard
+{
+  public:
+    explicit KernelModeGuard(vmm::Vcpu& vcpu) : vcpu_(vcpu),
+        saved_(vcpu.context())
+    {
+        vmm::Context kctx = saved_;
+        kctx.view = systemDomain;
+        kctx.kernelMode = true;
+        vcpu_.context() = kctx;
+    }
+
+    ~KernelModeGuard() { vcpu_.context() = saved_; }
+
+    KernelModeGuard(const KernelModeGuard&) = delete;
+    KernelModeGuard& operator=(const KernelModeGuard&) = delete;
+
+  private:
+    vmm::Vcpu& vcpu_;
+    vmm::Context saved_;
+};
+
+} // namespace osh::os
+
+#endif // OSH_OS_KERNEL_HH

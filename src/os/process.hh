@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Processes, file descriptors and pipes.
+ */
+
+#ifndef OSH_OS_PROCESS_HH
+#define OSH_OS_PROCESS_HH
+
+#include "base/types.hh"
+#include "os/addrspace.hh"
+#include "os/syscalls.hh"
+#include "os/vfs.hh"
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace osh::os
+{
+
+/** A kernel pipe object. Data lives in kernel memory. */
+struct Pipe
+{
+    std::deque<std::uint8_t> buffer;
+    std::size_t capacity = 64 * 1024;
+    int readers = 0;
+    int writers = 0;
+
+    // Distinct addresses used as scheduler wait channels.
+    char readChannel = 0;
+    char writeChannel = 0;
+};
+
+/** An open file description (shared across dup/fork). */
+struct OpenFile
+{
+    enum class Kind : std::uint8_t { File, PipeRead, PipeWrite };
+
+    Kind kind = Kind::File;
+    InodeId inode = 0;
+    std::uint64_t offset = 0;
+    std::uint64_t flags = 0;
+    std::shared_ptr<Pipe> pipe;
+};
+
+/** Signal disposition. */
+struct SigDisposition
+{
+    bool handled = false;        ///< A user handler is registered.
+    std::uint64_t token = 0;     ///< Opaque user handler token.
+};
+
+/** Process states. */
+enum class ProcState : std::uint8_t { Running, Zombie };
+
+/** A guest process (single threaded in this simulator). */
+class Process
+{
+  public:
+    Process(Pid pid, Pid ppid, std::string program_name)
+        : pid(pid), ppid(ppid), as(static_cast<Asid>(pid)),
+          programName(std::move(program_name))
+    {
+    }
+
+    Pid pid;
+    Pid ppid;
+    AddressSpace as;
+    std::vector<std::shared_ptr<OpenFile>> fds;
+
+    std::array<SigDisposition, numSignals> signals{};
+    std::uint32_t pendingSignals = 0;
+
+    ProcState state = ProcState::Running;
+    int exitStatus = 0;
+
+    /** Set when another process fatally signalled us; the victim's own
+     *  thread notices at its next kernel entry and unwinds. */
+    bool killRequested = false;
+    std::string killReason;
+
+    /** Wait channel for parents blocked in waitpid on us. */
+    char exitChannel = 0;
+
+    /** Cloaking status (managed by the Overshadow runtime). */
+    bool cloaked = false;
+    DomainId domain = systemDomain;
+
+    std::string programName;
+    std::vector<std::string> argv;
+
+    /** Allocate the lowest free descriptor slot. */
+    int
+    allocFd(std::shared_ptr<OpenFile> file)
+    {
+        for (std::size_t i = 0; i < fds.size(); ++i) {
+            if (!fds[i]) {
+                fds[i] = std::move(file);
+                return static_cast<int>(i);
+            }
+        }
+        fds.push_back(std::move(file));
+        return static_cast<int>(fds.size() - 1);
+    }
+
+    /** Descriptor lookup; nullptr when closed/out of range. */
+    OpenFile*
+    fd(std::uint64_t n)
+    {
+        if (n >= fds.size())
+            return nullptr;
+        return fds[n].get();
+    }
+};
+
+} // namespace osh::os
+
+#endif // OSH_OS_PROCESS_HH

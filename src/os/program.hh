@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Guest program registry.
+ *
+ * Guest "binaries" are host C++ functions operating on guest state
+ * exclusively through an Env (registers, guest memory via the MMU,
+ * system calls). A program marked cloaked is launched under the
+ * Overshadow runtime: shim installed, domain created, private regions
+ * registered with the VMM.
+ */
+
+#ifndef OSH_OS_PROGRAM_HH
+#define OSH_OS_PROGRAM_HH
+
+#include "base/logging.hh"
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+
+namespace osh::os
+{
+
+class Env;
+
+/** Entry point of a guest program; returns the exit status. */
+using ProgramMain = std::function<int(Env&)>;
+
+/** A registered guest program. */
+struct Program
+{
+    ProgramMain main;
+    bool cloaked = false;
+    std::uint64_t stackPages = 64;
+};
+
+/** Name -> program table (the simulated filesystem's /bin). */
+class ProgramRegistry
+{
+  public:
+    void
+    add(const std::string& name, Program program)
+    {
+        osh_assert(programs_.emplace(name, std::move(program)).second,
+                   "duplicate program '%s'", name.c_str());
+    }
+
+    const Program*
+    find(const std::string& name) const
+    {
+        auto it = programs_.find(name);
+        return it == programs_.end() ? nullptr : &it->second;
+    }
+
+  private:
+    std::map<std::string, Program> programs_;
+};
+
+} // namespace osh::os
+
+#endif // OSH_OS_PROGRAM_HH

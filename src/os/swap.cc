@@ -1,0 +1,73 @@
+#include "os/swap.hh"
+
+#include "base/logging.hh"
+
+#include <cstring>
+
+namespace osh::os
+{
+
+SwapDevice::SwapDevice(sim::CostModel& cost, std::uint64_t max_slots)
+    : cost_(cost), maxSlots_(max_slots), stats_("swap")
+{
+}
+
+std::optional<SwapSlot>
+SwapDevice::allocate()
+{
+    if (!freeList_.empty()) {
+        SwapSlot s = freeList_.back();
+        freeList_.pop_back();
+        used_[s] = true;
+        ++inUse_;
+        return s;
+    }
+    if (slots_.size() >= maxSlots_)
+        return std::nullopt;
+    slots_.emplace_back();
+    used_.push_back(true);
+    ++inUse_;
+    return slots_.size() - 1;
+}
+
+void
+SwapDevice::release(SwapSlot slot)
+{
+    osh_assert(slot < slots_.size() && used_[slot],
+               "release of unused swap slot %llu",
+               static_cast<unsigned long long>(slot));
+    used_[slot] = false;
+    freeList_.push_back(slot);
+    --inUse_;
+}
+
+void
+SwapDevice::writeSlot(SwapSlot slot, std::span<const std::uint8_t> page)
+{
+    osh_assert(slot < slots_.size() && used_[slot], "write to bad slot");
+    osh_assert(page.size() == pageSize, "swap I/O is page granular");
+    std::memcpy(slots_[slot].data(), page.data(), pageSize);
+    cost_.charge(cost_.params().diskAccess +
+                 cost_.params().diskPerByte * pageSize,
+                 "swap_out");
+}
+
+void
+SwapDevice::readSlot(SwapSlot slot, std::span<std::uint8_t> page)
+{
+    osh_assert(slot < slots_.size() && used_[slot], "read from bad slot");
+    osh_assert(page.size() == pageSize, "swap I/O is page granular");
+    std::memcpy(page.data(), slots_[slot].data(), pageSize);
+    cost_.charge(cost_.params().diskAccess +
+                 cost_.params().diskPerByte * pageSize,
+                 "swap_in");
+}
+
+std::array<std::uint8_t, pageSize>&
+SwapDevice::rawSlot(SwapSlot slot)
+{
+    osh_assert(slot < slots_.size() && used_[slot], "rawSlot of bad slot");
+    return slots_[slot];
+}
+
+} // namespace osh::os

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Swap device.
+ *
+ * A slot-granular backing store for paged-out anonymous memory. The
+ * kernel copies page *contents* here — for cloaked pages that content is
+ * ciphertext, because the copy reads the frame through the kernel's
+ * system view. The device also exposes the raw slot bytes so tests can
+ * play a malicious disk (tampering / replaying swapped pages).
+ */
+
+#ifndef OSH_OS_SWAP_HH
+#define OSH_OS_SWAP_HH
+
+#include "base/stats.hh"
+#include "base/types.hh"
+#include "sim/cost_model.hh"
+
+#include <array>
+#include <span>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace osh::os
+{
+
+/** Swap slot identifier. */
+using SwapSlot = std::uint64_t;
+
+/** Slot-granular page store with disk-like costs. */
+class SwapDevice
+{
+  public:
+    /**
+     * @param cost Cost model charged for every slot I/O.
+     * @param max_slots Device capacity.
+     */
+    SwapDevice(sim::CostModel& cost, std::uint64_t max_slots = 65536);
+
+    /** Reserve a slot; nullopt when the device is full. */
+    std::optional<SwapSlot> allocate();
+
+    /** Release a slot. */
+    void release(SwapSlot slot);
+
+    /** Write one page into a slot (charges disk costs). */
+    void writeSlot(SwapSlot slot, std::span<const std::uint8_t> page);
+
+    /** Read one page back (charges disk costs). */
+    void readSlot(SwapSlot slot, std::span<std::uint8_t> page);
+
+    /** Raw slot bytes — used by tests to model a malicious disk. */
+    std::array<std::uint8_t, pageSize>& rawSlot(SwapSlot slot);
+
+    std::uint64_t slotsInUse() const { return inUse_; }
+
+    StatGroup& stats() { return stats_; }
+
+  private:
+    sim::CostModel& cost_;
+    std::uint64_t maxSlots_;
+    std::vector<std::array<std::uint8_t, pageSize>> slots_;
+    std::vector<bool> used_;
+    std::vector<SwapSlot> freeList_;
+    std::uint64_t inUse_ = 0;
+    StatGroup stats_;
+};
+
+} // namespace osh::os
+
+#endif // OSH_OS_SWAP_HH

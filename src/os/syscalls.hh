@@ -1,0 +1,122 @@
+/**
+ * @file
+ * System-call numbers, flags and error codes of the guest ABI.
+ *
+ * Arguments travel in registers r0 (number) and r1..r5; the result comes
+ * back in r0 as a non-negative value or a negative Err. Buffers and
+ * strings are guest virtual addresses; the kernel moves data with
+ * copyin/copyout through its system view — which is precisely where
+ * Overshadow's cloaking interposes.
+ */
+
+#ifndef OSH_OS_SYSCALLS_HH
+#define OSH_OS_SYSCALLS_HH
+
+#include <cstdint>
+
+namespace osh::os
+{
+
+/** System call numbers. */
+enum class Sys : std::uint64_t
+{
+    Exit = 1,
+    GetPid = 2,
+    GetPpid = 3,
+    Yield = 4,
+    Clock = 5,       ///< Read the simulated cycle counter.
+    Sleep = 6,       ///< Sleep for N cycles (cooperative).
+
+    Mmap = 10,
+    Munmap = 11,
+
+    Open = 20,
+    Close = 21,
+    Read = 22,
+    Write = 23,
+    Lseek = 24,
+    Fstat = 25,
+    Unlink = 26,
+    Mkdir = 27,
+    ReadDir = 28,    ///< Read the name of the i-th directory entry.
+    Ftruncate = 29,
+    Fsync = 30,
+    Rename = 31,
+    Pipe = 32,
+    Dup = 33,
+
+    Spawn = 40,      ///< fork+exec combo: start a program as a child.
+    Fork = 41,
+    Exec = 42,
+    WaitPid = 43,
+    Kill = 44,
+    SigAction = 45,
+    SigPending = 46,
+};
+
+/** Error codes (returned negated). */
+enum Err : std::int64_t
+{
+    errOk = 0,
+    errPerm = 1,
+    errNoEnt = 2,
+    errSrch = 3,
+    errBadF = 9,
+    errChild = 10,
+    errNoMem = 12,
+    errFault = 14,
+    errBusy = 16,
+    errExist = 17,
+    errNotDir = 20,
+    errIsDir = 21,
+    errInval = 22,
+    errNFile = 23,
+    errNoSpc = 28,
+    errSPipe = 29,
+    errPipe = 32,
+    errNoSys = 38,
+};
+
+/** mmap protection bits. */
+constexpr std::uint64_t protRead = 1;
+constexpr std::uint64_t protWrite = 2;
+
+/** mmap flags. */
+constexpr std::uint64_t mapAnon = 1;
+constexpr std::uint64_t mapShared = 2;
+/**
+ * Hint that the region holds cloaked data. This is a resource-management
+ * hint for the OS (like a special mmap flag the shim passes); protection
+ * itself is enforced purely by the VMM, never by this flag.
+ */
+constexpr std::uint64_t mapCloaked = 4;
+
+/** open() flags. */
+constexpr std::uint64_t openRead = 1;
+constexpr std::uint64_t openWrite = 2;
+constexpr std::uint64_t openCreate = 4;
+constexpr std::uint64_t openTrunc = 8;
+
+/** lseek whence. */
+constexpr std::uint64_t seekSet = 0;
+constexpr std::uint64_t seekCur = 1;
+constexpr std::uint64_t seekEnd = 2;
+
+/** Signals. */
+constexpr int sigKill = 9;
+constexpr int sigUser1 = 10;
+constexpr int sigUser2 = 12;
+constexpr int sigTerm = 15;
+constexpr int numSignals = 32;
+
+/** fstat result, written to user memory. */
+struct StatBuf
+{
+    std::uint64_t size;
+    std::uint32_t isDir;
+    std::uint32_t inode;
+};
+
+} // namespace osh::os
+
+#endif // OSH_OS_SYSCALLS_HH

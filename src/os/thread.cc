@@ -1,0 +1,201 @@
+#include "os/thread.hh"
+
+#include "base/logging.hh"
+
+namespace osh::os
+{
+
+namespace
+{
+
+/** The unique_lock of the running host thread, for scheduler calls. */
+thread_local std::unique_lock<std::mutex>* tlsHostLock = nullptr;
+
+} // namespace
+
+Scheduler::Scheduler(sim::CostModel& cost) : cost_(cost), stats_("sched")
+{
+}
+
+Scheduler::~Scheduler()
+{
+    {
+        std::unique_lock<std::mutex> lk(lock_);
+        osh_assert(liveCount_ == 0,
+                   "scheduler destroyed with %llu live threads",
+                   static_cast<unsigned long long>(liveCount_));
+    }
+    for (auto& t : threads_) {
+        if (t->host.joinable())
+            t->host.join();
+    }
+}
+
+Thread&
+Scheduler::createThread(Pid pid, vmm::Vmm& vmm, const vmm::Context& ctx,
+                        std::function<void(Thread&)> body)
+{
+    auto owned = std::make_unique<Thread>(pid, vmm, ctx);
+    Thread* t = owned.get();
+    t->body = std::move(body);
+    t->state = Thread::State::Ready;
+    threads_.push_back(std::move(owned));
+    readyQueue_.push_back(t);
+    ++liveCount_;
+    ++started_;
+    stats_.counter("threads_created").inc();
+    t->host = std::thread([this, t] { threadMain(t); });
+    return *t;
+}
+
+void
+Scheduler::threadMain(Thread* t)
+{
+    std::unique_lock<std::mutex> lk(lock_);
+    tlsHostLock = &lk;
+    while (t->state != Thread::State::Running)
+        t->cv.wait(lk);
+    current_ = t;
+
+    t->body(*t);
+
+    t->state = Thread::State::Zombie;
+    --liveCount_;
+    switchFrom(t, lk, /*exiting=*/true);
+    tlsHostLock = nullptr;
+}
+
+void
+Scheduler::switchFrom(Thread* cur, std::unique_lock<std::mutex>& lk,
+                      bool exiting)
+{
+    if (!readyQueue_.empty()) {
+        Thread* next = readyQueue_.front();
+        readyQueue_.pop_front();
+        next->state = Thread::State::Running;
+        current_ = next;
+        if (next != cur) {
+            cost_.charge(cost_.params().contextSwitch, "context_switch");
+            next->cv.notify_all();
+        }
+    } else {
+        current_ = nullptr;
+        if (liveCount_ == 0) {
+            driverCv_.notify_all();
+        } else {
+            // No runnable thread, yet live threads remain: everything
+            // else is blocked. If the caller is also going away (exit)
+            // or blocking, the guest has deadlocked.
+            bool caller_runnable =
+                !exiting && cur->state == Thread::State::Running;
+            if (!caller_runnable) {
+                osh_panic("guest deadlock: %llu live threads, "
+                          "none runnable",
+                          static_cast<unsigned long long>(liveCount_));
+            }
+            // Caller yielded with nobody else to run: keep running.
+            cur->state = Thread::State::Running;
+            current_ = cur;
+            return;
+        }
+    }
+    if (exiting)
+        return;
+    while (cur->state != Thread::State::Running)
+        cur->cv.wait(lk);
+    current_ = cur;
+}
+
+void
+Scheduler::yield()
+{
+    Thread* cur = current_;
+    osh_assert(cur != nullptr && tlsHostLock != nullptr,
+               "yield outside guest context");
+    if (readyQueue_.empty())
+        return;
+    cur->state = Thread::State::Ready;
+    readyQueue_.push_back(cur);
+    stats_.counter("yields").inc();
+    switchFrom(cur, *tlsHostLock, false);
+}
+
+void
+Scheduler::preempt()
+{
+    Thread* cur = current_;
+    osh_assert(cur != nullptr && tlsHostLock != nullptr,
+               "preempt outside guest context");
+    if (readyQueue_.empty())
+        return;
+    cost_.charge(cost_.params().interruptDeliver, "timer_interrupt");
+    cur->state = Thread::State::Ready;
+    readyQueue_.push_back(cur);
+    stats_.counter("preemptions").inc();
+    switchFrom(cur, *tlsHostLock, false);
+}
+
+void
+Scheduler::block(const void* channel)
+{
+    Thread* cur = current_;
+    osh_assert(cur != nullptr && tlsHostLock != nullptr,
+               "block outside guest context");
+    cur->state = Thread::State::Blocked;
+    cur->waitChannel = channel;
+    stats_.counter("blocks").inc();
+    switchFrom(cur, *tlsHostLock, false);
+    cur->waitChannel = nullptr;
+}
+
+void
+Scheduler::wakeAll(const void* channel)
+{
+    for (auto& t : threads_) {
+        if (t->state == Thread::State::Blocked &&
+            t->waitChannel == channel) {
+            t->state = Thread::State::Ready;
+            t->waitChannel = nullptr;
+            readyQueue_.push_back(t.get());
+            stats_.counter("wakeups").inc();
+        }
+    }
+}
+
+std::uint64_t
+Scheduler::run()
+{
+    std::unique_lock<std::mutex> lk(lock_);
+    if (liveCount_ == 0)
+        return started_;
+    osh_assert(current_ == nullptr, "run() while a thread is running");
+    osh_assert(!readyQueue_.empty(), "live threads but none ready");
+
+    Thread* next = readyQueue_.front();
+    readyQueue_.pop_front();
+    next->state = Thread::State::Running;
+    current_ = next;
+    next->cv.notify_all();
+
+    driverCv_.wait(lk, [this] { return liveCount_ == 0; });
+    current_ = nullptr;
+    return started_;
+}
+
+} // namespace osh::os
+
+namespace osh::os
+{
+
+void
+Scheduler::wakeThread(Thread& t)
+{
+    if (t.state == Thread::State::Blocked) {
+        t.state = Thread::State::Ready;
+        t.waitChannel = nullptr;
+        readyQueue_.push_back(&t);
+        stats_.counter("wakeups").inc();
+    }
+}
+
+} // namespace osh::os

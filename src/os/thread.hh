@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Guest threads and the scheduler.
+ *
+ * Each guest thread is hosted on its own std::thread, but execution is
+ * strictly serialized: a single "big simulation lock" is held by
+ * whichever guest thread is Running, and context switches are explicit
+ * condition-variable handoffs driven by the scheduler. This gives the
+ * simulator real blocking semantics (pipes, waitpid, page I/O) and real
+ * preemption points while keeping runs fully deterministic — the
+ * round-robin ready queue, not the host scheduler, decides who runs.
+ *
+ * Kernel code runs on the guest thread that trapped, exactly as in a
+ * real monolithic kernel.
+ */
+
+#ifndef OSH_OS_THREAD_HH
+#define OSH_OS_THREAD_HH
+
+#include "base/stats.hh"
+#include "base/types.hh"
+#include "sim/cost_model.hh"
+#include "vmm/vcpu.hh"
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace osh::os
+{
+
+class Scheduler;
+
+/** One guest thread (this simulator runs one thread per process). */
+class Thread
+{
+  public:
+    enum class State : std::uint8_t
+    {
+        Embryo,   ///< Created, host thread not yet scheduled.
+        Ready,    ///< Runnable, waiting for the CPU.
+        Running,  ///< Currently holds the simulation.
+        Blocked,  ///< Waiting on a channel.
+        Zombie,   ///< Finished.
+    };
+
+    Thread(Pid pid, vmm::Vmm& vmm, const vmm::Context& ctx)
+        : pid(pid), vcpu(vmm, ctx)
+    {
+    }
+
+    Pid pid;
+    State state = State::Embryo;
+    vmm::Vcpu vcpu;
+
+    /** Channel this thread is blocked on (nullptr if none). */
+    const void* waitChannel = nullptr;
+
+    // Runtime mailbox written by the kernel, read by the Env/runtime.
+
+    /** Pending user-signal delivery (negative = none). */
+    int deliverSignal = -1;
+    std::uint64_t deliverSignalToken = 0;
+
+    /** Pending exec image (set by sys_exec, consumed by the Env). */
+    bool hasPendingExec = false;
+    std::string pendingExecProgram;
+    std::vector<std::string> pendingExecArgv;
+
+    /** Body to run once first scheduled. */
+    std::function<void(Thread&)> body;
+
+    std::condition_variable cv;
+    std::thread host;
+};
+
+/**
+ * Round-robin scheduler over host-thread-backed guest threads.
+ *
+ * Locking protocol: every scheduler method that is documented as
+ * "guest context" must be called by the currently Running guest thread,
+ * which implicitly holds the simulation lock (taken in threadMain).
+ */
+class Scheduler
+{
+  public:
+    explicit Scheduler(sim::CostModel& cost);
+    ~Scheduler();
+
+    Scheduler(const Scheduler&) = delete;
+    Scheduler& operator=(const Scheduler&) = delete;
+
+    /**
+     * Create a guest thread. May be called from the driver (before
+     * run()) or from a running guest thread (fork/spawn). The thread
+     * starts Ready.
+     */
+    Thread& createThread(Pid pid, vmm::Vmm& vmm, const vmm::Context& ctx,
+                         std::function<void(Thread&)> body);
+
+    /** The currently running guest thread (nullptr from the driver). */
+    Thread* current() { return current_; }
+
+    /** Guest context: voluntarily give up the CPU. */
+    void yield();
+
+    /** Guest context: involuntary preemption (timer); charged. */
+    void preempt();
+
+    /** Guest context: block on a channel until woken. */
+    void block(const void* channel);
+
+    /** Guest context: wake every thread blocked on the channel. */
+    void wakeAll(const void* channel);
+
+    /** Guest context: make one specific blocked thread runnable. */
+    void wakeThread(Thread& t);
+
+    /**
+     * Driver context: run the simulation until every guest thread has
+     * exited. Returns the number of threads that ran.
+     */
+    std::uint64_t run();
+
+    /** Number of live (non-zombie) threads. */
+    std::uint64_t liveThreads() const { return liveCount_; }
+
+    StatGroup& stats() { return stats_; }
+
+  private:
+    void threadMain(Thread* t);
+
+    /**
+     * Pick the next ready thread and hand the CPU to it; the caller
+     * then waits until it becomes Running again (or returns immediately
+     * if exiting). Must hold lock_.
+     */
+    void switchFrom(Thread* cur, std::unique_lock<std::mutex>& lk,
+                    bool exiting);
+
+    sim::CostModel& cost_;
+    std::mutex lock_;
+    std::condition_variable driverCv_;
+
+    std::vector<std::unique_ptr<Thread>> threads_;
+    std::deque<Thread*> readyQueue_;
+    Thread* current_ = nullptr;
+    std::uint64_t liveCount_ = 0;
+    std::uint64_t started_ = 0;
+    bool driverWaiting_ = false;
+    StatGroup stats_;
+};
+
+} // namespace osh::os
+
+#endif // OSH_OS_THREAD_HH

@@ -1,0 +1,18 @@
+#include "sim/cost_model.hh"
+
+namespace osh::sim
+{
+
+CostModel::CostModel(const CostParams& params)
+    : params_(params), stats_("cost")
+{
+}
+
+void
+CostModel::charge(Cycles c, const std::string& event)
+{
+    cycles_ += c;
+    stats_.counter(event).inc();
+}
+
+} // namespace osh::sim

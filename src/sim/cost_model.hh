@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Deterministic cycle cost model.
+ *
+ * The simulator does not measure host time; every simulated operation
+ * charges a fixed number of cycles here. The defaults are calibrated to
+ * a 2008-era x86 with a software VMM (the paper's platform): ~1 cycle
+ * per cached memory access, a few hundred cycles for a trap, ~800 for a
+ * VMM world-switch round trip, and software AES/SHA at ~12/10 cycles per
+ * byte. Benchmarks report simulated cycles, so runs are bit-reproducible
+ * and the *relative* overheads (the shape of the paper's figures) are
+ * meaningful even though absolute numbers are synthetic.
+ */
+
+#ifndef OSH_SIM_COST_MODEL_HH
+#define OSH_SIM_COST_MODEL_HH
+
+#include "base/stats.hh"
+#include "base/types.hh"
+
+namespace osh::sim
+{
+
+/** All tunable cycle costs. Benchmarks may override for ablations. */
+struct CostParams
+{
+    // Memory system.
+    Cycles memAccess = 1;        ///< Load/store with a TLB hit.
+    Cycles tlbMissWalk = 24;     ///< Shadow-page-table walk on TLB miss.
+    Cycles shadowFill = 250;     ///< VMM fills a shadow entry (hidden fault).
+    Cycles tlbFlush = 100;       ///< Flushing a context's TLB.
+
+    // Traps and world switches.
+    Cycles vmExit = 400;         ///< One-way guest -> VMM transition.
+    Cycles vmResume = 400;       ///< One-way VMM -> guest transition.
+    Cycles syscallTrap = 150;    ///< Guest user -> guest kernel.
+    Cycles syscallReturn = 150;  ///< Guest kernel -> guest user.
+    Cycles interruptDeliver = 200;  ///< Delivering a (timer) interrupt.
+    Cycles contextSwitch = 1200; ///< Kernel process switch.
+
+    // Cloaking machinery.
+    Cycles ctcSaveRestore = 600; ///< Save+scrub or restore registers.
+    Cycles cloakFaultFixed = 500;   ///< Fixed cloak-fault handling cost.
+    Cycles aesPerByte = 12;      ///< Software AES-128-CTR.
+    Cycles shaPerByte = 10;      ///< Software SHA-256.
+    Cycles metadataHit = 40;     ///< Protection-metadata cache hit.
+    Cycles metadataMiss = 900;   ///< Metadata cache miss (fetch+verify).
+
+    // Devices.
+    Cycles diskAccess = 300000;  ///< Fixed latency per disk I/O.
+    Cycles diskPerByte = 2;      ///< Streaming disk bandwidth.
+
+    // Kernel-internal work.
+    Cycles pageZero = 600;       ///< Zero-filling a fresh frame.
+    Cycles pageCopy = 800;       ///< Copying one page (fork, COW).
+    Cycles kernelOp = 50;        ///< Generic kernel bookkeeping unit.
+};
+
+/** Global cycle accumulator plus per-event statistics. */
+class CostModel
+{
+  public:
+    explicit CostModel(const CostParams& params = {});
+
+    /** Charge raw cycles. */
+    void charge(Cycles c) { cycles_ += c; }
+
+    /** Charge cycles and count the named event once. */
+    void charge(Cycles c, const std::string& event);
+
+    /** Simulated time so far. */
+    Cycles cycles() const { return cycles_; }
+
+    /** Reset simulated time (stats are kept). */
+    void resetCycles() { cycles_ = 0; }
+
+    const CostParams& params() const { return params_; }
+    CostParams& params() { return params_; }
+
+    StatGroup& stats() { return stats_; }
+    const StatGroup& stats() const { return stats_; }
+
+  private:
+    CostParams params_;
+    Cycles cycles_ = 0;
+    StatGroup stats_;
+};
+
+} // namespace osh::sim
+
+#endif // OSH_SIM_COST_MODEL_HH

@@ -1,0 +1,12 @@
+#include "sim/machine.hh"
+
+namespace osh::sim
+{
+
+Machine::Machine(const MachineConfig& config)
+    : config_(config), memory_(config.numFrames), cost_(config.costs),
+      rng_(config.seed)
+{
+}
+
+} // namespace osh::sim

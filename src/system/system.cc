@@ -1,0 +1,241 @@
+#include "system/system.hh"
+
+#include "base/logging.hh"
+#include "cloak/runtime.hh"
+#include "cloak/transfer.hh"
+#include "os/exceptions.hh"
+
+namespace osh::system
+{
+
+namespace
+{
+
+sim::MachineConfig
+machineConfig(const SystemConfig& cfg)
+{
+    sim::MachineConfig mc;
+    mc.numFrames = cfg.guestFrames;
+    mc.seed = cfg.seed;
+    mc.costs = cfg.costs;
+    return mc;
+}
+
+} // namespace
+
+System::System(const SystemConfig& config)
+    : config_(config), machine_(machineConfig(config)),
+      vmm_(machine_, config.guestFrames),
+      sched_(machine_.cost()),
+      kernel_(vmm_, sched_, programs_)
+{
+    if (config.cloakingEnabled) {
+        engine_ = std::make_unique<cloak::CloakEngine>(
+            vmm_, config.seed ^ 0x05ead0u, config.metadataCacheEntries);
+        engine_->setCleanOptimization(config.cleanOptimization);
+    }
+    kernel_.setCloakingAvailable(engine_ != nullptr);
+    kernel_.setProcessHost(this);
+}
+
+System::~System()
+{
+    kernel_.setProcessHost(nullptr);
+}
+
+void
+System::addProgram(const std::string& name, os::Program program)
+{
+    programs_.add(name, std::move(program));
+}
+
+Pid
+System::launch(const std::string& program, std::vector<std::string> argv)
+{
+    osh_assert(programs_.find(program) != nullptr,
+               "launch of unknown program '%s'", program.c_str());
+    os::Process& proc =
+        kernel_.createProcess(program, std::move(argv), 0);
+    startProgram(proc);
+    return proc.pid;
+}
+
+void
+System::run()
+{
+    sched_.run();
+}
+
+ExitResult
+System::runProgram(const std::string& program,
+                   std::vector<std::string> argv)
+{
+    Pid pid = launch(program, std::move(argv));
+    run();
+    const ExitResult* r = resultOf(pid);
+    osh_assert(r != nullptr, "program produced no result");
+    return *r;
+}
+
+const ExitResult*
+System::resultOf(Pid pid) const
+{
+    auto it = results_.find(pid);
+    return it == results_.end() ? nullptr : &it->second;
+}
+
+std::uint64_t
+System::registerForkBody(std::function<int(os::Env&)> body)
+{
+    std::uint64_t token = nextForkToken_++;
+    forkBodies_[token] = std::move(body);
+    return token;
+}
+
+void
+System::startProgram(os::Process& proc)
+{
+    StartInfo info;
+    info.needsImageSetup = true;
+    startThread(proc, std::move(info));
+}
+
+void
+System::startForkChild(os::Process& parent, os::Process& child,
+                       std::uint64_t token)
+{
+    StartInfo info;
+    info.isForkChild = true;
+    info.needsImageSetup = false; // The address space was cloned.
+    auto it = forkBodies_.find(token);
+    osh_assert(it != forkBodies_.end(), "fork with unknown body token");
+    info.forkBody = it->second;
+    forkBodies_.erase(it);
+
+    if (engine_ && child.cloaked) {
+        auto sit = shims_.find(parent.pid);
+        osh_assert(sit != shims_.end(), "cloaked fork without a shim");
+        info.cloakForkToken = sit->second->takePendingForkToken();
+        info.parentCtc = sit->second->ctcVa();
+        info.parentBounce = sit->second->bounceVa();
+    }
+    startThread(child, std::move(info));
+}
+
+void
+System::onProcessExit(os::Process&)
+{
+    // Cloak teardown happens in the thread body before finalizeExit;
+    // nothing further to do here (kept as an extension point).
+}
+
+void
+System::startThread(os::Process& proc, StartInfo info)
+{
+    vmm::Context ctx;
+    ctx.asid = proc.as.asid();
+    ctx.view = systemDomain;
+    ctx.kernelMode = false;
+    Pid pid = proc.pid;
+    sched_.createThread(pid, vmm_, ctx,
+                        [this, pid, info = std::move(info)](
+                            os::Thread& t) mutable {
+                            threadBody(t, pid, std::move(info));
+                        });
+}
+
+void
+System::threadBody(os::Thread& thread, Pid pid, StartInfo info)
+{
+    kernel_.bindThread(pid, thread);
+    os::Env env(kernel_, thread, this);
+
+    if (config_.preemptOpsPerTick > 0) {
+        thread.vcpu.setPreemptHook(
+            [this, &thread, &env] {
+                os::Process* p = kernel_.findProcess(thread.pid);
+                if (engine_ && p != nullptr && p->cloaked &&
+                    p->domain != systemDomain) {
+                    cloak::SecureTransfer::aroundInterrupt(
+                        *engine_, p->domain, env,
+                        [this, &thread] { kernel_.timerTick(thread); });
+                } else {
+                    kernel_.timerTick(thread);
+                }
+            },
+            config_.preemptOpsPerTick);
+    }
+
+    int status = 0;
+    bool killed = false;
+    std::string kill_reason;
+    std::unique_ptr<cloak::Shim> shim;
+
+    bool done = false;
+    while (!done) {
+        try {
+            os::Process& proc = kernel_.process(pid);
+            const os::Program* prog = programs_.find(proc.programName);
+            osh_assert(prog != nullptr, "process runs unknown program");
+            if (info.needsImageSetup)
+                kernel_.setupProcessImage(proc, *prog);
+
+            if (engine_ && proc.cloaked) {
+                if (info.isForkChild && info.cloakForkToken != 0) {
+                    shim = cloak::OvershadowRuntime::launchForked(
+                        *engine_, env, info.cloakForkToken,
+                        info.parentCtc, info.parentBounce);
+                } else {
+                    shim = cloak::OvershadowRuntime::launch(*engine_,
+                                                            env);
+                }
+                shims_[pid] = shim.get();
+            }
+
+            int rv = (info.isForkChild && info.forkBody)
+                         ? info.forkBody(env)
+                         : prog->main(env);
+            status = rv;
+            done = true;
+        } catch (os::ExecRequested&) {
+            // The shim tore the old domain down before trapping exec;
+            // loop around and start the new image.
+            shims_.erase(pid);
+            shim.reset();
+            info = StartInfo{};
+            info.needsImageSetup = false; // sysExec built the image.
+            continue;
+        } catch (os::ThreadExit& e) {
+            status = e.status;
+            done = true;
+        } catch (vmm::ProcessKilled& e) {
+            status = -1;
+            killed = true;
+            kill_reason = e.reason;
+            done = true;
+        }
+    }
+
+    // Cloak teardown must precede frame release: it scrubs any
+    // plaintext still resident in this process's frames.
+    if (engine_) {
+        cloak::OvershadowRuntime::teardown(*engine_, env, shim.get());
+    }
+    shims_.erase(pid);
+    shim.reset();
+    thread.vcpu.setPreemptHook(nullptr, 0);
+
+    os::Process& proc = kernel_.process(pid);
+    std::string program_name = proc.programName;
+    kernel_.finalizeExit(proc, status);
+
+    ExitResult result;
+    result.pid = pid;
+    result.status = status;
+    result.killed = killed;
+    result.killReason = kill_reason;
+    result.programName = program_name;
+    results_[pid] = result;
+}
+
+} // namespace osh::system

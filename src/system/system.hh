@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Top-level simulation wiring.
+ *
+ * A System assembles the whole stack — simulated machine, VMM, cloak
+ * engine (optional: disable it for the native baseline), guest kernel,
+ * scheduler and program registry — and hosts guest threads: it creates
+ * the thread body for every process (initial launch, spawn, fork
+ * child), sets up the Overshadow runtime for cloaked programs, drives
+ * preemption, and collects exit results.
+ */
+
+#ifndef OSH_SYSTEM_SYSTEM_HH
+#define OSH_SYSTEM_SYSTEM_HH
+
+#include "cloak/engine.hh"
+#include "cloak/shim.hh"
+#include "os/env.hh"
+#include "os/kernel.hh"
+#include "os/program.hh"
+#include "os/thread.hh"
+#include "sim/machine.hh"
+#include "vmm/vmm.hh"
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+
+namespace osh::system
+{
+
+/** Configuration of a full simulation. */
+struct SystemConfig
+{
+    /** Guest physical memory in frames (machine gets the same). */
+    std::uint64_t guestFrames = 4096;
+
+    /** Deterministic seed (workloads, IVs, master key). */
+    std::uint64_t seed = 42;
+
+    /** Cycle cost parameters. */
+    sim::CostParams costs;
+
+    /** Run with Overshadow (true) or as the native baseline (false). */
+    bool cloakingEnabled = true;
+
+    /** Metadata cache capacity (ablation knob). */
+    std::size_t metadataCacheEntries = 1024;
+
+    /** Clean-plaintext re-encryption optimization (ablation knob). */
+    bool cleanOptimization = true;
+
+    /**
+     * User-mode ops between timer interrupts (0 = never preempt).
+     * The default models a ~1 kHz tick on the paper's hardware:
+     * roughly 2M memory operations between interrupts.
+     */
+    std::uint64_t preemptOpsPerTick = 2'000'000;
+};
+
+/** Final state of an exited process. */
+struct ExitResult
+{
+    Pid pid = 0;
+    int status = 0;
+    bool killed = false;
+    std::string killReason;
+    std::string programName;
+};
+
+/** The assembled simulation. */
+class System : public os::ProcessHost, public os::EnvRuntime
+{
+  public:
+    explicit System(const SystemConfig& config = {});
+    ~System() override;
+
+    System(const System&) = delete;
+    System& operator=(const System&) = delete;
+
+    // Components -----------------------------------------------------------
+    sim::Machine& machine() { return machine_; }
+    vmm::Vmm& vmm() { return vmm_; }
+    os::Kernel& kernel() { return kernel_; }
+    os::Scheduler& sched() { return sched_; }
+    os::ProgramRegistry& programs() { return programs_; }
+    /** Null when cloaking is disabled (native baseline). */
+    cloak::CloakEngine* cloak() { return engine_.get(); }
+    const SystemConfig& config() const { return config_; }
+
+    /** Register a guest program. */
+    void addProgram(const std::string& name, os::Program program);
+
+    /** Create the init process for a program (thread starts Ready). */
+    Pid launch(const std::string& program,
+               std::vector<std::string> argv = {});
+
+    /** Run until every guest thread has exited. */
+    void run();
+
+    /** Convenience: launch + run, returning the init process result. */
+    ExitResult runProgram(const std::string& program,
+                          std::vector<std::string> argv = {});
+
+    Cycles cycles() const { return machine_.cost().cycles(); }
+
+    const std::map<Pid, ExitResult>& results() const { return results_; }
+    const ExitResult* resultOf(Pid pid) const;
+
+    // os::EnvRuntime --------------------------------------------------------
+    std::uint64_t registerForkBody(
+        std::function<int(os::Env&)> body) override;
+
+    // os::ProcessHost -------------------------------------------------------
+    void startProgram(os::Process& proc) override;
+    void startForkChild(os::Process& parent, os::Process& child,
+                        std::uint64_t token) override;
+    void onProcessExit(os::Process& proc) override;
+
+  private:
+    struct StartInfo
+    {
+        bool isForkChild = false;
+        std::function<int(os::Env&)> forkBody;
+        std::uint64_t cloakForkToken = 0;
+        GuestVA parentCtc = 0;
+        GuestVA parentBounce = 0;
+        bool needsImageSetup = true;
+    };
+
+    void startThread(os::Process& proc, StartInfo info);
+    void threadBody(os::Thread& thread, Pid pid, StartInfo info);
+
+    SystemConfig config_;
+    sim::Machine machine_;
+    vmm::Vmm vmm_;
+    std::unique_ptr<cloak::CloakEngine> engine_;
+    os::ProgramRegistry programs_;
+    os::Scheduler sched_;
+    os::Kernel kernel_;
+
+    std::map<std::uint64_t, std::function<int(os::Env&)>> forkBodies_;
+    std::uint64_t nextForkToken_ = 1;
+
+    /** Live shims by pid (owned by their thread bodies). */
+    std::map<Pid, cloak::Shim*> shims_;
+
+    std::map<Pid, ExitResult> results_;
+};
+
+} // namespace osh::system
+
+#endif // OSH_SYSTEM_SYSTEM_HH

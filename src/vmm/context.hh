@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Execution-context types shared across the VMM.
+ *
+ * The central idea of multi-shadowing is that a translation is selected
+ * not just by the address space (ASID, as on ordinary hardware) but by
+ * the *view*: the protection domain on whose behalf the access is made.
+ * The kernel and all uncloaked code use the system view (domain 0); each
+ * cloaked application runs in its own domain and is the only context
+ * that sees its pages in plaintext.
+ */
+
+#ifndef OSH_VMM_CONTEXT_HH
+#define OSH_VMM_CONTEXT_HH
+
+#include "base/logging.hh"
+#include "base/types.hh"
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace osh::vmm
+{
+
+/** What kind of access is being performed. */
+enum class AccessType { Read, Write, Fetch };
+
+/** Human-readable access name for diagnostics. */
+const char* accessName(AccessType t);
+
+/** The (address space, view, privilege) tuple that selects a shadow. */
+struct Context
+{
+    Asid asid = 0;
+    DomainId view = systemDomain;
+    bool kernelMode = false;
+
+    bool operator==(const Context&) const = default;
+};
+
+/** A guest page-table entry, as maintained by the guest OS. */
+struct GuestPte
+{
+    Gpa gpa = badAddr;
+    bool present = false;
+    bool writable = false;
+    bool user = true;
+    /** Copy-on-write: mapped read-only, kernel copies on write fault. */
+    bool cow = false;
+};
+
+/** Result of resolving a page through pmap + cloaking. */
+struct ResolvedPage
+{
+    Mpa mpa = badAddr;
+    bool canRead = false;
+    bool canWrite = false;
+};
+
+/**
+ * Thrown to unwind a guest thread when its process has been terminated
+ * (segmentation fault, cloak violation, explicit kill). Guest kernel
+ * code is exception safe, so the throw propagates cleanly to the thread
+ * host.
+ */
+struct ProcessKilled
+{
+    Pid pid;
+    std::string reason;
+};
+
+} // namespace osh::vmm
+
+/** Hash support so contexts can key shadow tables. */
+template <>
+struct std::hash<osh::vmm::Context>
+{
+    std::size_t
+    operator()(const osh::vmm::Context& c) const noexcept
+    {
+        std::uint64_t v = (std::uint64_t{c.asid} << 33) ^
+                          (std::uint64_t{c.view} << 1) ^
+                          (c.kernelMode ? 1 : 0);
+        return std::hash<std::uint64_t>{}(v);
+    }
+};
+
+#endif // OSH_VMM_CONTEXT_HH

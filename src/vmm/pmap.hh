@@ -1,0 +1,67 @@
+/**
+ * @file
+ * The VMM's physical map: guest physical -> machine physical.
+ *
+ * The guest OS believes it owns a contiguous range of "physical" memory
+ * (GPAs). The VMM backs each guest frame with a machine frame on first
+ * touch. This indirection is what lets the VMM interpose on every guest
+ * frame without the guest's knowledge — the cloak engine encrypts and
+ * hashes *machine* frames, and the guest only ever names GPAs.
+ */
+
+#ifndef OSH_VMM_PMAP_HH
+#define OSH_VMM_PMAP_HH
+
+#include "base/stats.hh"
+#include "base/types.hh"
+#include "sim/machine.hh"
+
+#include <cstdint>
+#include <vector>
+
+namespace osh::vmm
+{
+
+/** Guest-physical to machine-physical mapping. */
+class Pmap
+{
+  public:
+    /**
+     * @param machine The machine whose frames back guest memory.
+     * @param guest_frames Size of the guest physical space in frames;
+     *        must not exceed the machine's frame count.
+     */
+    Pmap(sim::Machine& machine, std::uint64_t guest_frames);
+
+    /** Number of guest physical frames. */
+    std::uint64_t guestFrames() const { return backing_.size(); }
+
+    /** Does this GPA lie inside guest physical memory? */
+    bool
+    contains(Gpa gpa) const
+    {
+        return pageNumber(gpa) < backing_.size();
+    }
+
+    /**
+     * Machine address backing a guest physical address, allocating a
+     * machine frame on first touch. Panics if gpa is out of range (the
+     * guest OS validates frame numbers before handing them out).
+     */
+    Mpa translate(Gpa gpa);
+
+    /** Has this guest frame been backed yet? */
+    bool isBacked(Gpa gpa) const;
+
+    StatGroup& stats() { return stats_; }
+
+  private:
+    sim::Machine& machine_;
+    std::vector<Mpa> backing_;   ///< Per guest frame: MPA or badAddr.
+    std::uint64_t nextFrame_ = 0;
+    StatGroup stats_;
+};
+
+} // namespace osh::vmm
+
+#endif // OSH_VMM_PMAP_HH

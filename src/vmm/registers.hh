@@ -1,0 +1,61 @@
+/**
+ * @file
+ * The simulated register file.
+ *
+ * Guest "code" in this simulator is host C++, but architectural register
+ * state still matters: it is what the VMM must protect on every
+ * transition out of a cloaked context (the paper's secure control
+ * transfer). Programs place secrets in registers, system calls pass
+ * arguments in r0..r5, and the VMM scrubs everything else before the
+ * kernel gets control.
+ */
+
+#ifndef OSH_VMM_REGISTERS_HH
+#define OSH_VMM_REGISTERS_HH
+
+#include "base/types.hh"
+
+#include <array>
+#include <cstdint>
+
+namespace osh::vmm
+{
+
+/** Number of general-purpose registers. */
+constexpr std::size_t numGprs = 16;
+
+/** Number of registers carrying syscall number + arguments (r0..r5). */
+constexpr std::size_t numSyscallRegs = 6;
+
+/** Architectural register state of one virtual CPU / guest thread. */
+struct RegisterFile
+{
+    std::array<std::uint64_t, numGprs> gpr{};
+    std::uint64_t pc = 0;
+    std::uint64_t sp = 0;
+    std::uint64_t flags = 0;
+
+    bool operator==(const RegisterFile&) const = default;
+
+    /**
+     * Scrub everything the kernel does not need. For a syscall the
+     * first @p keep_args GPRs (number + arguments) are preserved; for an
+     * asynchronous interrupt keep_args is 0. pc/sp are replaced with
+     * the given trampoline values so the kernel sees a plausible but
+     * information-free frame.
+     */
+    void
+    scrub(std::size_t keep_args, std::uint64_t trampoline_pc,
+          std::uint64_t trampoline_sp)
+    {
+        for (std::size_t i = keep_args; i < numGprs; ++i)
+            gpr[i] = 0;
+        pc = trampoline_pc;
+        sp = trampoline_sp;
+        flags = 0;
+    }
+};
+
+} // namespace osh::vmm
+
+#endif // OSH_VMM_REGISTERS_HH

@@ -1,0 +1,133 @@
+#include "vmm/shadow.hh"
+
+#include <algorithm>
+
+namespace osh::vmm
+{
+
+ShadowManager::ShadowManager() : stats_("shadow")
+{
+}
+
+std::optional<ShadowEntry>
+ShadowManager::lookup(const Context& ctx, GuestVA va_page) const
+{
+    auto sit = shadows_.find(ctx);
+    if (sit == shadows_.end())
+        return std::nullopt;
+    auto eit = sit->second.find(va_page);
+    if (eit == sit->second.end())
+        return std::nullopt;
+    return eit->second;
+}
+
+void
+ShadowManager::install(const Context& ctx, GuestVA va_page,
+                       const ShadowEntry& entry)
+{
+    osh_assert(pageOffset(va_page) == 0, "shadow entries are page keyed");
+    PageMap& pm = shadows_[ctx];
+    auto old = pm.find(va_page);
+    if (old != pm.end())
+        dropFromReverse(old->second.mpa, ctx, va_page);
+    pm[va_page] = entry;
+    reverse_[entry.mpa].push_back({ctx, va_page});
+    stats_.counter("installs").inc();
+}
+
+void
+ShadowManager::dropFromReverse(Mpa frame_base, const Context& ctx,
+                               GuestVA va_page)
+{
+    auto rit = reverse_.find(frame_base);
+    if (rit == reverse_.end())
+        return;
+    auto& vec = rit->second;
+    vec.erase(std::remove_if(vec.begin(), vec.end(),
+                             [&](const Mapping& m) {
+                                 return m.ctx == ctx &&
+                                        m.vaPage == va_page;
+                             }),
+              vec.end());
+    if (vec.empty())
+        reverse_.erase(rit);
+}
+
+void
+ShadowManager::dropEntry(const Context& ctx, GuestVA va_page)
+{
+    auto sit = shadows_.find(ctx);
+    if (sit == shadows_.end())
+        return;
+    auto eit = sit->second.find(va_page);
+    if (eit == sit->second.end())
+        return;
+    dropFromReverse(eit->second.mpa, ctx, va_page);
+    sit->second.erase(eit);
+}
+
+void
+ShadowManager::invalidateVa(Asid asid, GuestVA va_page)
+{
+    va_page = pageBase(va_page);
+    for (auto& [ctx, pm] : shadows_) {
+        if (ctx.asid != asid)
+            continue;
+        auto eit = pm.find(va_page);
+        if (eit != pm.end()) {
+            dropFromReverse(eit->second.mpa, ctx, va_page);
+            pm.erase(eit);
+            stats_.counter("va_invalidations").inc();
+        }
+    }
+}
+
+void
+ShadowManager::invalidateAsid(Asid asid)
+{
+    for (auto& [ctx, pm] : shadows_) {
+        if (ctx.asid != asid)
+            continue;
+        for (auto& [va, entry] : pm)
+            dropFromReverse(entry.mpa, ctx, va);
+        pm.clear();
+    }
+    stats_.counter("asid_invalidations").inc();
+}
+
+void
+ShadowManager::invalidateMpa(Mpa frame_base)
+{
+    auto rit = reverse_.find(frame_base);
+    if (rit == reverse_.end())
+        return;
+    // Move out the mapping list; dropEntry edits reverse_.
+    std::vector<Mapping> mappings = std::move(rit->second);
+    reverse_.erase(rit);
+    for (const Mapping& m : mappings) {
+        auto sit = shadows_.find(m.ctx);
+        if (sit == shadows_.end())
+            continue;
+        sit->second.erase(m.vaPage);
+    }
+    stats_.counter("mpa_invalidations").inc();
+}
+
+void
+ShadowManager::invalidateAll()
+{
+    shadows_.clear();
+    reverse_.clear();
+    stats_.counter("full_invalidations").inc();
+}
+
+std::size_t
+ShadowManager::entryCount() const
+{
+    std::size_t n = 0;
+    for (const auto& [ctx, pm] : shadows_)
+        n += pm.size();
+    return n;
+}
+
+} // namespace osh::vmm

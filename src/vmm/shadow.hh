@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Multi-shadow page tables.
+ *
+ * A classical VMM keeps one shadow page table per guest address space,
+ * caching the composition guest-virtual -> guest-physical -> machine.
+ * Overshadow's multi-shadowing keeps one shadow per (address space,
+ * view) pair so the same guest virtual address can resolve differently
+ * — plaintext for the owning cloaked application, ciphertext for
+ * everything else. This module manages the shadows plus the reverse
+ * index needed to invalidate every mapping of a machine frame when the
+ * cloak engine flips its state.
+ */
+
+#ifndef OSH_VMM_SHADOW_HH
+#define OSH_VMM_SHADOW_HH
+
+#include "base/stats.hh"
+#include "base/types.hh"
+#include "vmm/context.hh"
+
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+namespace osh::vmm
+{
+
+/** One cached translation in a shadow page table. */
+struct ShadowEntry
+{
+    Mpa mpa = badAddr;       ///< Machine frame base.
+    bool canRead = false;
+    bool canWrite = false;
+};
+
+/** All shadow page tables, keyed by execution context. */
+class ShadowManager
+{
+  public:
+    ShadowManager();
+
+    /** Look up a cached translation; nullopt on shadow miss. */
+    std::optional<ShadowEntry> lookup(const Context& ctx,
+                                      GuestVA va_page) const;
+
+    /** Install (or replace) a shadow entry. */
+    void install(const Context& ctx, GuestVA va_page,
+                 const ShadowEntry& entry);
+
+    /** Drop one VA translation in every view of one address space. */
+    void invalidateVa(Asid asid, GuestVA va_page);
+
+    /** Drop all translations of one address space (all views). */
+    void invalidateAsid(Asid asid);
+
+    /**
+     * Drop every shadow entry, in any context, that maps the given
+     * machine frame. Called by the cloak engine whenever a page changes
+     * cloaking state, so no context retains a stale view.
+     */
+    void invalidateMpa(Mpa frame_base);
+
+    /** Drop everything. */
+    void invalidateAll();
+
+    /** Number of live shadow entries (for tests / stats). */
+    std::size_t entryCount() const;
+
+    StatGroup& stats() { return stats_; }
+
+  private:
+    using PageMap = std::unordered_map<GuestVA, ShadowEntry>;
+
+    struct Mapping
+    {
+        Context ctx;
+        GuestVA vaPage;
+    };
+
+    void dropEntry(const Context& ctx, GuestVA va_page);
+    void dropFromReverse(Mpa frame_base, const Context& ctx,
+                         GuestVA va_page);
+
+    std::unordered_map<Context, PageMap> shadows_;
+    /** Reverse index: machine frame -> all shadow entries mapping it. */
+    std::unordered_map<Mpa, std::vector<Mapping>> reverse_;
+    StatGroup stats_;
+};
+
+} // namespace osh::vmm
+
+#endif // OSH_VMM_SHADOW_HH

@@ -1,0 +1,80 @@
+#include "vmm/tlb.hh"
+
+namespace osh::vmm
+{
+
+Tlb::Tlb(std::size_t capacity) : capacity_(capacity), stats_("tlb")
+{
+    osh_assert(capacity > 0, "TLB needs capacity");
+}
+
+std::optional<ShadowEntry>
+Tlb::lookup(const Context& ctx, GuestVA va_page)
+{
+    auto it = entries_.find(Key{ctx, va_page});
+    if (it == entries_.end()) {
+        stats_.counter("misses").inc();
+        return std::nullopt;
+    }
+    stats_.counter("hits").inc();
+    return it->second;
+}
+
+void
+Tlb::insert(const Context& ctx, GuestVA va_page, const ShadowEntry& entry)
+{
+    Key key{ctx, va_page};
+    if (entries_.find(key) == entries_.end()) {
+        while (entries_.size() >= capacity_) {
+            entries_.erase(fifo_.front());
+            fifo_.pop_front();
+        }
+        fifo_.push_back(key);
+    }
+    entries_[key] = entry;
+}
+
+void
+Tlb::invalidateVa(Asid asid, GuestVA va_page)
+{
+    va_page = pageBase(va_page);
+    for (auto it = entries_.begin(); it != entries_.end();) {
+        if (it->first.ctx.asid == asid && it->first.vaPage == va_page)
+            it = entries_.erase(it);
+        else
+            ++it;
+    }
+}
+
+void
+Tlb::invalidateAsid(Asid asid)
+{
+    for (auto it = entries_.begin(); it != entries_.end();) {
+        if (it->first.ctx.asid == asid)
+            it = entries_.erase(it);
+        else
+            ++it;
+    }
+}
+
+void
+Tlb::invalidateMpa(Mpa frame_base)
+{
+    frame_base = pageBase(frame_base);
+    for (auto it = entries_.begin(); it != entries_.end();) {
+        if (pageBase(it->second.mpa) == frame_base)
+            it = entries_.erase(it);
+        else
+            ++it;
+    }
+}
+
+void
+Tlb::flushAll()
+{
+    entries_.clear();
+    fifo_.clear();
+    stats_.counter("full_flushes").inc();
+}
+
+} // namespace osh::vmm

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * A small software TLB model.
+ *
+ * Caches (context, va page) -> shadow entry so the common case of a
+ * repeated access charges only CostParams::memAccess. Capacity-bounded
+ * with FIFO replacement. Invalidation is conservative: targeted drops
+ * for VA/ASID events, full flush when a machine frame changes cloaking
+ * state (modelling a TLB shootdown).
+ */
+
+#ifndef OSH_VMM_TLB_HH
+#define OSH_VMM_TLB_HH
+
+#include "base/stats.hh"
+#include "base/types.hh"
+#include "vmm/context.hh"
+#include "vmm/shadow.hh"
+
+#include <deque>
+#include <optional>
+#include <unordered_map>
+
+namespace osh::vmm
+{
+
+/** Capacity-bounded translation cache. */
+class Tlb
+{
+  public:
+    explicit Tlb(std::size_t capacity = 256);
+
+    std::optional<ShadowEntry> lookup(const Context& ctx, GuestVA va_page);
+
+    void insert(const Context& ctx, GuestVA va_page,
+                const ShadowEntry& entry);
+
+    void invalidateVa(Asid asid, GuestVA va_page);
+    void invalidateAsid(Asid asid);
+
+    /** Targeted shootdown of every entry mapping a machine frame. */
+    void invalidateMpa(Mpa frame_base);
+
+    void flushAll();
+
+    std::size_t size() const { return entries_.size(); }
+
+    StatGroup& stats() { return stats_; }
+
+  private:
+    struct Key
+    {
+        Context ctx;
+        GuestVA vaPage;
+
+        bool operator==(const Key&) const = default;
+    };
+
+    struct KeyHash
+    {
+        std::size_t
+        operator()(const Key& k) const noexcept
+        {
+            return std::hash<Context>{}(k.ctx) ^
+                   std::hash<GuestVA>{}(k.vaPage << 1);
+        }
+    };
+
+    std::size_t capacity_;
+    std::unordered_map<Key, ShadowEntry, KeyHash> entries_;
+    std::deque<Key> fifo_;
+    StatGroup stats_;
+};
+
+} // namespace osh::vmm
+
+#endif // OSH_VMM_TLB_HH

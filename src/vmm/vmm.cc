@@ -1,0 +1,182 @@
+#include "vmm/vmm.hh"
+
+#include "base/logging.hh"
+
+namespace osh::vmm
+{
+
+const char*
+accessName(AccessType t)
+{
+    switch (t) {
+      case AccessType::Read: return "read";
+      case AccessType::Write: return "write";
+      case AccessType::Fetch: return "fetch";
+    }
+    return "?";
+}
+
+namespace
+{
+
+/** Baseline backend: no cloaking, straight pmap translation. */
+class PassthroughBackend : public CloakBackend
+{
+  public:
+    explicit PassthroughBackend(Pmap& pmap) : pmap_(pmap) {}
+
+    ResolvedPage
+    resolvePage(const Context& ctx, GuestVA va_page, const GuestPte& pte,
+                AccessType access) override
+    {
+        (void)ctx;
+        (void)va_page;
+        (void)access;
+        ResolvedPage r;
+        r.mpa = pmap_.translate(pageBase(pte.gpa));
+        r.canRead = true;
+        r.canWrite = pte.writable;
+        return r;
+    }
+
+    std::int64_t
+    hypercall(Vcpu&, Hypercall num,
+              std::span<const std::uint64_t>) override
+    {
+        osh_warn("hypercall %llu with no cloak backend installed",
+                 static_cast<unsigned long long>(num));
+        return -1;
+    }
+
+  private:
+    Pmap& pmap_;
+};
+
+} // namespace
+
+Vmm::Vmm(sim::Machine& machine, std::uint64_t guest_frames)
+    : machine_(machine), pmap_(machine, guest_frames),
+      passthrough_(std::make_unique<PassthroughBackend>(pmap_)),
+      cloak_(passthrough_.get()), stats_("vmm")
+{
+}
+
+void
+Vmm::setCloakBackend(CloakBackend* backend)
+{
+    cloak_ = backend ? backend : passthrough_.get();
+    // Views may now resolve differently; drop all cached translations.
+    shadows_.invalidateAll();
+    tlb_.flushAll();
+}
+
+void
+Vmm::setGuestOs(GuestOsHooks* os)
+{
+    os_ = os;
+}
+
+ShadowEntry
+Vmm::resolve(Vcpu& vcpu, const Context& ctx, GuestVA va_page,
+             AccessType access)
+{
+    osh_assert(os_ != nullptr, "no guest OS attached to the VMM");
+    va_page = pageBase(va_page);
+
+    const auto& costs = machine_.cost().params();
+    machine_.cost().charge(costs.vmExit, "vm_exit");
+
+    constexpr int max_retries = 16;
+    for (int attempt = 0; attempt < max_retries; ++attempt) {
+        GuestPte pte = os_->translateGuest(ctx.asid, va_page);
+        machine_.cost().charge(costs.tlbMissWalk);
+
+        bool needs_guest_fault = !pte.present;
+        if (pte.present && access == AccessType::Write && !pte.writable) {
+            // Could be COW or a real protection error; the guest kernel
+            // decides.
+            needs_guest_fault = true;
+        }
+        if (pte.present && !ctx.kernelMode && !pte.user)
+            needs_guest_fault = true;
+
+        if (needs_guest_fault) {
+            stats_.counter("guest_faults").inc();
+            machine_.cost().charge(costs.interruptDeliver);
+            os_->handleGuestPageFault(vcpu, va_page, access);
+            continue;
+        }
+
+        // Compose with the cloak backend. This may encrypt/decrypt the
+        // underlying frame and throws ProcessKilled on a violation.
+        ResolvedPage page = cloak_->resolvePage(ctx, va_page, pte, access);
+        bool ok = (access == AccessType::Write) ? page.canWrite
+                                                : page.canRead;
+        if (!ok) {
+            osh_panic("cloak backend returned mapping without %s "
+                      "permission for va 0x%llx",
+                      accessName(access),
+                      static_cast<unsigned long long>(va_page));
+        }
+
+        if (access == AccessType::Write)
+            os_->notifyWrite(ctx.asid, va_page);
+
+        ShadowEntry entry;
+        entry.mpa = pageBase(page.mpa);
+        entry.canRead = page.canRead;
+        entry.canWrite = page.canWrite;
+        shadows_.install(ctx, va_page, entry);
+        tlb_.insert(ctx, va_page, entry);
+        machine_.cost().charge(costs.shadowFill, "shadow_fill");
+        machine_.cost().charge(costs.vmResume);
+        return entry;
+    }
+    osh_panic("shadow resolution for va 0x%llx did not converge",
+              static_cast<unsigned long long>(va_page));
+}
+
+void
+Vmm::invalidateVa(Asid asid, GuestVA va_page)
+{
+    shadows_.invalidateVa(asid, pageBase(va_page));
+    tlb_.invalidateVa(asid, pageBase(va_page));
+    // Trapped INVLPG costs a world switch.
+    chargeWorldSwitch("invlpg");
+}
+
+void
+Vmm::invalidateAsid(Asid asid)
+{
+    shadows_.invalidateAsid(asid);
+    tlb_.invalidateAsid(asid);
+    chargeWorldSwitch("asid_flush");
+}
+
+void
+Vmm::invalidateMpa(Mpa frame_base)
+{
+    shadows_.invalidateMpa(pageBase(frame_base));
+    tlb_.invalidateMpa(pageBase(frame_base));
+    machine_.cost().charge(machine_.cost().params().tlbFlush,
+                           "mpa_invalidate");
+}
+
+std::int64_t
+Vmm::hypercall(Vcpu& vcpu, Hypercall num,
+               std::span<const std::uint64_t> args)
+{
+    chargeWorldSwitch("hypercall");
+    stats_.counter("hypercalls").inc();
+    return cloak_->hypercall(vcpu, num, args);
+}
+
+void
+Vmm::chargeWorldSwitch(const char* reason)
+{
+    const auto& costs = machine_.cost().params();
+    machine_.cost().charge(costs.vmExit + costs.vmResume, reason);
+    stats_.counter("world_switches").inc();
+}
+
+} // namespace osh::vmm

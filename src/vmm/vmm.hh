@@ -1,0 +1,102 @@
+/**
+ * @file
+ * The virtual machine monitor.
+ *
+ * Owns the pmap, the multi-shadow page tables and the TLB model, and
+ * runs the resolution path every memory access takes on a shadow miss:
+ *
+ *   guest PTE walk -> (guest page fault to the OS if unmapped) ->
+ *   cloak backend resolution (may encrypt/decrypt the page) ->
+ *   shadow + TLB install.
+ *
+ * All world-switch and fault costs are charged here so the benchmarks
+ * see the same cost structure the paper describes.
+ */
+
+#ifndef OSH_VMM_VMM_HH
+#define OSH_VMM_VMM_HH
+
+#include "base/stats.hh"
+#include "base/types.hh"
+#include "sim/machine.hh"
+#include "vmm/context.hh"
+#include "vmm/hooks.hh"
+#include "vmm/pmap.hh"
+#include "vmm/shadow.hh"
+#include "vmm/tlb.hh"
+
+#include <memory>
+
+namespace osh::vmm
+{
+
+/** The VMM proper. */
+class Vmm
+{
+  public:
+    /**
+     * @param machine Underlying simulated machine.
+     * @param guest_frames Guest physical memory size in frames.
+     */
+    Vmm(sim::Machine& machine, std::uint64_t guest_frames);
+
+    /** Plug in the cloak engine (defaults to passthrough / native). */
+    void setCloakBackend(CloakBackend* backend);
+
+    /** Plug in the guest OS hooks. Must be set before any access. */
+    void setGuestOs(GuestOsHooks* os);
+
+    sim::Machine& machine() { return machine_; }
+    Pmap& pmap() { return pmap_; }
+    ShadowManager& shadows() { return shadows_; }
+    Tlb& tlb() { return tlb_; }
+    CloakBackend& cloakBackend() { return *cloak_; }
+
+    /**
+     * Full shadow resolution for one page. Charges a VM exit, consults
+     * the guest page tables (taking guest faults as needed), asks the
+     * cloak backend, installs the shadow entry and returns it.
+     */
+    ShadowEntry resolve(Vcpu& vcpu, const Context& ctx, GuestVA va_page,
+                        AccessType access);
+
+    /**
+     * Guest-initiated invalidation (the OS changed a PTE). Models an
+     * INVLPG that the VMM traps; drops shadow + TLB state for the page
+     * in every view of the address space.
+     */
+    void invalidateVa(Asid asid, GuestVA va_page);
+
+    /** Guest-initiated full address-space invalidation (CR3 rewrite). */
+    void invalidateAsid(Asid asid);
+
+    /**
+     * Cloak-engine-initiated invalidation: a machine frame changed
+     * cloaking state, so every context's mapping of it must go. The TLB
+     * is fully flushed (shootdown model).
+     */
+    void invalidateMpa(Mpa frame_base);
+
+    /** Dispatch a hypercall from an application to the cloak backend. */
+    std::int64_t hypercall(Vcpu& vcpu, Hypercall num,
+                           std::span<const std::uint64_t> args);
+
+    /** Charge one guest->VMM->guest round trip. */
+    void chargeWorldSwitch(const char* reason);
+
+    StatGroup& stats() { return stats_; }
+
+  private:
+    sim::Machine& machine_;
+    Pmap pmap_;
+    ShadowManager shadows_;
+    Tlb tlb_;
+    std::unique_ptr<CloakBackend> passthrough_;
+    CloakBackend* cloak_;
+    GuestOsHooks* os_ = nullptr;
+    StatGroup stats_;
+};
+
+} // namespace osh::vmm
+
+#endif // OSH_VMM_VMM_HH

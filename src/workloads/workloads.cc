@@ -1,0 +1,612 @@
+#include "workloads/workloads.hh"
+
+#include "base/logging.hh"
+#include "os/env.hh"
+
+#include <algorithm>
+#include <array>
+#include <cstring>
+
+namespace osh::workloads
+{
+
+using os::Env;
+
+namespace
+{
+
+// ---------------------------------------------------------------------------
+// Guest-side helpers
+// ---------------------------------------------------------------------------
+
+std::uint64_t
+splitmix(std::uint64_t& s)
+{
+    s += 0x9e3779b97f4a7c15ull;
+    std::uint64_t z = s;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+constexpr std::uint64_t fnvOffset = 0xcbf29ce484222325ull;
+constexpr std::uint64_t fnvPrime = 0x100000001b3ull;
+
+void
+fnvMix(std::uint64_t& h, std::uint64_t v)
+{
+    for (int i = 0; i < 8; ++i) {
+        h ^= (v >> (8 * i)) & 0xff;
+        h *= fnvPrime;
+    }
+}
+
+std::uint64_t
+argAt(Env& env, std::size_t i, std::uint64_t fallback)
+{
+    const auto& args = env.args();
+    if (i >= args.size())
+        return fallback;
+    return std::strtoull(args[i].c_str(), nullptr, 10);
+}
+
+/** Workload seed: the system seed, so native/cloaked runs match. */
+std::uint64_t
+workloadSeed(Env& env)
+{
+    return env.kernel().vmm().machine().config().seed;
+}
+
+std::string
+toHex64(std::uint64_t v)
+{
+    char buf[17];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(v));
+    return std::string(buf);
+}
+
+/** Write the result checksum to /results/<name> (public output). */
+int
+writeResult(Env& env, const std::string& name, std::uint64_t checksum)
+{
+    env.mkdir("/results"); // errExist is fine
+    std::int64_t fd = env.open("/results/" + name,
+                               os::openCreate | os::openWrite |
+                                   os::openTrunc);
+    if (fd < 0)
+        return 20;
+    std::string hex = toHex64(checksum);
+    if (env.writeAll(static_cast<std::uint64_t>(fd), hex) !=
+        static_cast<std::int64_t>(hex.size()))
+        return 21;
+    env.close(static_cast<std::uint64_t>(fd));
+    return 0;
+}
+
+/** Hash a guest buffer in chunks (charges guest memory costs). */
+std::uint64_t
+hashGuestRange(Env& env, GuestVA va, std::uint64_t len)
+{
+    std::uint64_t h = fnvOffset;
+    std::array<std::uint8_t, 4096> buf;
+    std::uint64_t done = 0;
+    while (done < len) {
+        std::uint64_t n = std::min<std::uint64_t>(len - done, buf.size());
+        env.readBytes(va + done, std::span<std::uint8_t>(buf.data(), n));
+        for (std::uint64_t i = 0; i < n; ++i) {
+            h ^= buf[i];
+            h *= fnvPrime;
+        }
+        done += n;
+    }
+    return h;
+}
+
+// ---------------------------------------------------------------------------
+// Compute kernels (F1 suite)
+// ---------------------------------------------------------------------------
+
+int
+wlMatmul(Env& env)
+{
+    std::uint64_t n = argAt(env, 0, 20);
+    std::uint64_t bytes = n * n * 8;
+    GuestVA a = env.allocPages(roundUpToPage(bytes) / pageSize);
+    GuestVA b = env.allocPages(roundUpToPage(bytes) / pageSize);
+    GuestVA c = env.allocPages(roundUpToPage(bytes) / pageSize);
+
+    std::uint64_t s = workloadSeed(env);
+    for (std::uint64_t i = 0; i < n * n; ++i) {
+        env.store64(a + i * 8, splitmix(s) & 0xffff);
+        env.store64(b + i * 8, splitmix(s) & 0xffff);
+    }
+    for (std::uint64_t i = 0; i < n; ++i) {
+        for (std::uint64_t j = 0; j < n; ++j) {
+            std::uint64_t acc = 0;
+            for (std::uint64_t k = 0; k < n; ++k) {
+                acc += env.load64(a + (i * n + k) * 8) *
+                       env.load64(b + (k * n + j) * 8);
+            }
+            env.store64(c + (i * n + j) * 8, acc);
+        }
+    }
+    std::uint64_t h = fnvOffset;
+    for (std::uint64_t i = 0; i < n * n; ++i)
+        fnvMix(h, env.load64(c + i * 8));
+    return writeResult(env, "wl.matmul", h);
+}
+
+int
+wlSort(Env& env)
+{
+    std::uint64_t n = argAt(env, 0, 4096);
+    GuestVA arr = env.allocPages(roundUpToPage(n * 8) / pageSize);
+    std::uint64_t s = workloadSeed(env);
+    for (std::uint64_t i = 0; i < n; ++i)
+        env.store64(arr + i * 8, splitmix(s));
+
+    // In-place iterative bottom-up merge sort with a scratch buffer.
+    GuestVA tmp = env.allocPages(roundUpToPage(n * 8) / pageSize);
+    for (std::uint64_t width = 1; width < n; width *= 2) {
+        for (std::uint64_t lo = 0; lo < n; lo += 2 * width) {
+            std::uint64_t mid = std::min(lo + width, n);
+            std::uint64_t hi = std::min(lo + 2 * width, n);
+            std::uint64_t i = lo, j = mid, k = lo;
+            while (i < mid && j < hi) {
+                std::uint64_t vi = env.load64(arr + i * 8);
+                std::uint64_t vj = env.load64(arr + j * 8);
+                if (vi <= vj) {
+                    env.store64(tmp + k * 8, vi);
+                    ++i;
+                } else {
+                    env.store64(tmp + k * 8, vj);
+                    ++j;
+                }
+                ++k;
+            }
+            for (; i < mid; ++i, ++k)
+                env.store64(tmp + k * 8, env.load64(arr + i * 8));
+            for (; j < hi; ++j, ++k)
+                env.store64(tmp + k * 8, env.load64(arr + j * 8));
+        }
+        std::swap(arr, tmp);
+    }
+
+    // Verify sorted while hashing.
+    std::uint64_t h = fnvOffset;
+    std::uint64_t prev = 0;
+    for (std::uint64_t i = 0; i < n; ++i) {
+        std::uint64_t v = env.load64(arr + i * 8);
+        if (v < prev)
+            return 30;
+        prev = v;
+        fnvMix(h, v);
+    }
+    return writeResult(env, "wl.sort", h);
+}
+
+int
+wlStream(Env& env)
+{
+    std::uint64_t kb = argAt(env, 0, 256);
+    std::uint64_t passes = argAt(env, 1, 2);
+    std::uint64_t bytes = kb * 1024;
+    GuestVA buf = env.allocPages(roundUpToPage(bytes) / pageSize);
+    std::uint64_t s = workloadSeed(env);
+    // Fill in 64-bit strides, then stream-hash repeatedly.
+    for (std::uint64_t i = 0; i < bytes; i += 8)
+        env.store64(buf + i, splitmix(s));
+    std::uint64_t h = fnvOffset;
+    for (std::uint64_t p = 0; p < passes; ++p)
+        fnvMix(h, hashGuestRange(env, buf, bytes));
+    return writeResult(env, "wl.stream", h);
+}
+
+int
+wlChase(Env& env)
+{
+    std::uint64_t n = argAt(env, 0, 8192);
+    std::uint64_t steps = argAt(env, 1, 4 * n);
+    GuestVA arr = env.allocPages(roundUpToPage(n * 8) / pageSize);
+
+    // Build a random single-cycle permutation (Sattolo's algorithm).
+    std::uint64_t s = workloadSeed(env);
+    for (std::uint64_t i = 0; i < n; ++i)
+        env.store64(arr + i * 8, i);
+    for (std::uint64_t i = n - 1; i > 0; --i) {
+        std::uint64_t j = splitmix(s) % i;
+        std::uint64_t vi = env.load64(arr + i * 8);
+        std::uint64_t vj = env.load64(arr + j * 8);
+        env.store64(arr + i * 8, vj);
+        env.store64(arr + j * 8, vi);
+    }
+    std::uint64_t pos = 0;
+    std::uint64_t h = fnvOffset;
+    for (std::uint64_t k = 0; k < steps; ++k) {
+        pos = env.load64(arr + pos * 8);
+        fnvMix(h, pos);
+    }
+    return writeResult(env, "wl.chase", h);
+}
+
+int
+wlHistogram(Env& env)
+{
+    std::uint64_t n = argAt(env, 0, 65536);
+    GuestVA data = env.allocPages(roundUpToPage(n) / pageSize);
+    GuestVA hist = env.allocPages(1);
+    std::uint64_t s = workloadSeed(env);
+    for (std::uint64_t i = 0; i < n; i += 8)
+        env.store64(data + i, splitmix(s));
+    for (std::uint64_t i = 0; i < 256; ++i)
+        env.store64(hist + i * 8, 0);
+    for (std::uint64_t i = 0; i < n; ++i) {
+        std::uint8_t b = env.load8(data + i);
+        GuestVA slot = hist + std::uint64_t{b} * 8;
+        env.store64(slot, env.load64(slot) + 1);
+    }
+    std::uint64_t h = fnvOffset;
+    for (std::uint64_t i = 0; i < 256; ++i)
+        fnvMix(h, env.load64(hist + i * 8));
+    return writeResult(env, "wl.histogram", h);
+}
+
+int
+wlStencil(Env& env)
+{
+    std::uint64_t g = argAt(env, 0, 48);
+    std::uint64_t iters = argAt(env, 1, 8);
+    std::uint64_t bytes = g * g * 8;
+    GuestVA cur = env.allocPages(roundUpToPage(bytes) / pageSize);
+    GuestVA nxt = env.allocPages(roundUpToPage(bytes) / pageSize);
+    std::uint64_t s = workloadSeed(env);
+    for (std::uint64_t i = 0; i < g * g; ++i)
+        env.store64(cur + i * 8, splitmix(s) & 0xffff);
+
+    for (std::uint64_t it = 0; it < iters; ++it) {
+        for (std::uint64_t y = 1; y + 1 < g; ++y) {
+            for (std::uint64_t x = 1; x + 1 < g; ++x) {
+                std::uint64_t acc =
+                    env.load64(cur + ((y - 1) * g + x) * 8) +
+                    env.load64(cur + ((y + 1) * g + x) * 8) +
+                    env.load64(cur + (y * g + x - 1) * 8) +
+                    env.load64(cur + (y * g + x + 1) * 8) +
+                    env.load64(cur + (y * g + x) * 8);
+                env.store64(nxt + (y * g + x) * 8, acc / 5);
+            }
+        }
+        std::swap(cur, nxt);
+    }
+    std::uint64_t h = fnvOffset;
+    for (std::uint64_t i = 0; i < g * g; ++i)
+        fnvMix(h, env.load64(cur + i * 8));
+    return writeResult(env, "wl.stencil", h);
+}
+
+// ---------------------------------------------------------------------------
+// File server (F2)
+// ---------------------------------------------------------------------------
+
+int
+wlFileserver(Env& env)
+{
+    std::uint64_t file_kb = argAt(env, 0, 128);
+    std::uint64_t requests = argAt(env, 1, 100);
+    std::uint64_t req_bytes = argAt(env, 2, 4096);
+    bool protected_file = argAt(env, 3, 1) != 0;
+
+    std::string path;
+    if (protected_file) {
+        env.mkdir("/cloaked");
+        path = "/cloaked/site.dat";
+    } else {
+        env.mkdir("/www");
+        path = "/www/site.dat";
+    }
+
+    // Populate the data file deterministically.
+    std::uint64_t file_bytes = file_kb * 1024;
+    {
+        std::int64_t fd = env.open(path, os::openCreate | os::openWrite |
+                                             os::openTrunc);
+        if (fd < 0)
+            return 40;
+        GuestVA chunk = env.allocPages(1);
+        std::uint64_t s = workloadSeed(env) ^ 0xf11e;
+        std::uint64_t written = 0;
+        while (written < file_bytes) {
+            for (std::uint64_t i = 0; i < pageSize; i += 8)
+                env.store64(chunk + i, splitmix(s));
+            std::uint64_t n =
+                std::min<std::uint64_t>(pageSize, file_bytes - written);
+            if (env.write(static_cast<std::uint64_t>(fd), chunk, n) !=
+                static_cast<std::int64_t>(n))
+                return 41;
+            written += n;
+        }
+        env.close(static_cast<std::uint64_t>(fd));
+    }
+
+    // Serve requests: seek to a pseudo-random offset, read the payload
+    // and "send" it — modelled as a write to an uncloaked response
+    // sink (a socket is public by nature), which crosses the kernel
+    // exactly as Apache's response writes do.
+    std::int64_t fd = env.open(path, os::openRead);
+    if (fd < 0)
+        return 42;
+    env.mkdir("/www");
+    std::int64_t sink = env.open("/www/response",
+                                 os::openCreate | os::openWrite |
+                                     os::openTrunc);
+    if (sink < 0)
+        return 44;
+    GuestVA buf = env.allocPages(
+        std::max<std::uint64_t>(1, roundUpToPage(req_bytes) / pageSize));
+    std::uint64_t s = workloadSeed(env) ^ 0x5e71;
+    std::uint64_t h = fnvOffset;
+    std::uint64_t span = file_bytes > req_bytes
+                             ? file_bytes - req_bytes
+                             : 1;
+    for (std::uint64_t r = 0; r < requests; ++r) {
+        std::uint64_t off = splitmix(s) % span;
+        env.lseek(static_cast<std::uint64_t>(fd),
+                  static_cast<std::int64_t>(off), os::seekSet);
+        std::int64_t got = env.read(static_cast<std::uint64_t>(fd), buf,
+                                    req_bytes);
+        if (got <= 0)
+            return 43;
+        fnvMix(h, hashGuestRange(env, buf,
+                                 static_cast<std::uint64_t>(got)));
+        if (env.write(static_cast<std::uint64_t>(sink), buf,
+                      static_cast<std::uint64_t>(got)) != got)
+            return 45;
+        env.lseek(static_cast<std::uint64_t>(sink), 0, os::seekSet);
+    }
+    env.close(static_cast<std::uint64_t>(sink));
+    env.close(static_cast<std::uint64_t>(fd));
+    return writeResult(env, "wl.fileserver", h);
+}
+
+// ---------------------------------------------------------------------------
+// Build driver (F3)
+// ---------------------------------------------------------------------------
+
+int
+wlCompile(Env& env)
+{
+    std::uint64_t index = argAt(env, 0, 0);
+    std::string src = formatString("/src/file_%llu.c",
+                                   static_cast<unsigned long long>(index));
+    std::string obj = formatString("/obj/file_%llu.o",
+                                   static_cast<unsigned long long>(index));
+
+    std::int64_t fd = env.open(src, os::openRead);
+    if (fd < 0)
+        return 50;
+    os::StatBuf sb{};
+    env.fstat(static_cast<std::uint64_t>(fd), sb);
+    std::uint64_t size = sb.size;
+    GuestVA buf = env.allocPages(
+        std::max<std::uint64_t>(1, roundUpToPage(size) / pageSize));
+    if (env.read(static_cast<std::uint64_t>(fd), buf, size) !=
+        static_cast<std::int64_t>(size))
+        return 51;
+    env.close(static_cast<std::uint64_t>(fd));
+
+    // "Compile": a couple of transformation passes over the buffer.
+    for (int pass = 0; pass < 2; ++pass) {
+        for (std::uint64_t i = 0; i + 8 <= size; i += 8) {
+            std::uint64_t v = env.load64(buf + i);
+            v = (v ^ 0xa5a5a5a5a5a5a5a5ull) * fnvPrime;
+            v = (v << 13) | (v >> 51);
+            env.store64(buf + i, v);
+        }
+    }
+
+    std::int64_t ofd = env.open(obj, os::openCreate | os::openWrite |
+                                         os::openTrunc);
+    if (ofd < 0)
+        return 52;
+    if (env.write(static_cast<std::uint64_t>(ofd), buf, size) !=
+        static_cast<std::int64_t>(size))
+        return 53;
+    env.close(static_cast<std::uint64_t>(ofd));
+    return static_cast<int>(index & 0x3f);
+}
+
+int
+wlBuild(Env& env)
+{
+    std::uint64_t tasks = argAt(env, 0, 4);
+    std::uint64_t work_kb = argAt(env, 1, 16);
+    env.mkdir("/src");
+    env.mkdir("/obj");
+
+    // Generate the "source files".
+    std::uint64_t s = workloadSeed(env) ^ 0xb01d;
+    GuestVA chunk = env.allocPages(1);
+    for (std::uint64_t i = 0; i < tasks; ++i) {
+        std::string src =
+            formatString("/src/file_%llu.c",
+                         static_cast<unsigned long long>(i));
+        std::int64_t fd = env.open(src, os::openCreate | os::openWrite |
+                                            os::openTrunc);
+        if (fd < 0)
+            return 60;
+        std::uint64_t remaining = work_kb * 1024;
+        while (remaining > 0) {
+            for (std::uint64_t b = 0; b < pageSize; b += 8)
+                env.store64(chunk + b, splitmix(s));
+            std::uint64_t n = std::min<std::uint64_t>(pageSize,
+                                                      remaining);
+            env.write(static_cast<std::uint64_t>(fd), chunk, n);
+            remaining -= n;
+        }
+        env.close(static_cast<std::uint64_t>(fd));
+    }
+
+    // Spawn one compiler per source and wait for all of them.
+    std::vector<Pid> children;
+    for (std::uint64_t i = 0; i < tasks; ++i) {
+        Pid pid = env.spawn("wl.compile",
+                            {formatString("%llu",
+                                          static_cast<unsigned long long>(
+                                              i))});
+        if (pid <= 0)
+            return 61;
+        children.push_back(pid);
+    }
+    for (Pid pid : children) {
+        int status = -1;
+        if (env.waitpid(pid, &status) != pid)
+            return 62;
+        (void)status;
+    }
+
+    // Checksum the object files.
+    std::uint64_t h = fnvOffset;
+    GuestVA buf = env.allocPages(
+        std::max<std::uint64_t>(1, roundUpToPage(work_kb * 1024) /
+                                        pageSize));
+    for (std::uint64_t i = 0; i < tasks; ++i) {
+        std::string obj =
+            formatString("/obj/file_%llu.o",
+                         static_cast<unsigned long long>(i));
+        std::int64_t fd = env.open(obj, os::openRead);
+        if (fd < 0)
+            return 63;
+        std::int64_t got = env.read(static_cast<std::uint64_t>(fd), buf,
+                                    work_kb * 1024);
+        if (got <= 0)
+            return 64;
+        fnvMix(h, hashGuestRange(env, buf,
+                                 static_cast<std::uint64_t>(got)));
+        env.close(static_cast<std::uint64_t>(fd));
+    }
+    return writeResult(env, "wl.build", h);
+}
+
+// ---------------------------------------------------------------------------
+// Memory-pressure stressor (F5)
+// ---------------------------------------------------------------------------
+
+int
+wlMemstress(Env& env)
+{
+    std::uint64_t pages = argAt(env, 0, 512);
+    std::uint64_t passes = argAt(env, 1, 3);
+    // 0 = sequential sweep (worst case for clock eviction),
+    // 1 = uniform random touches (graduated miss rate).
+    std::uint64_t random_order = argAt(env, 2, 0);
+    GuestVA buf = env.allocPages(pages);
+
+    std::uint64_t s = workloadSeed(env) ^ 0x3355;
+    // Initialize every page.
+    for (std::uint64_t p = 0; p < pages; ++p)
+        env.store64(buf + p * pageSize, splitmix(s) | 1);
+    // Repeated passes of read-modify-write, one line per page touch,
+    // forcing paging when the resident budget is under the buffer size.
+    std::uint64_t h = fnvOffset;
+    std::uint64_t rs = workloadSeed(env) ^ 0x77aa;
+    for (std::uint64_t pass = 0; pass < passes; ++pass) {
+        for (std::uint64_t i = 0; i < pages; ++i) {
+            std::uint64_t p =
+                random_order ? splitmix(rs) % pages : i;
+            GuestVA va = buf + p * pageSize;
+            std::uint64_t v = env.load64(va);
+            v = v * fnvPrime + pass;
+            env.store64(va, v);
+            fnvMix(h, v);
+        }
+    }
+    return writeResult(env, "wl.memstress", h);
+}
+
+} // namespace
+
+const std::vector<std::string>&
+computeKernelNames()
+{
+    static const std::vector<std::string> names = {
+        "wl.matmul", "wl.sort", "wl.stream",
+        "wl.chase",  "wl.histogram", "wl.stencil",
+    };
+    return names;
+}
+
+void
+registerAll(system::System& sys)
+{
+    auto add = [&sys](const std::string& name, os::ProgramMain main) {
+        os::Program p;
+        p.main = std::move(main);
+        p.cloaked = true;
+        sys.addProgram(name, std::move(p));
+    };
+    add("wl.matmul", wlMatmul);
+    add("wl.sort", wlSort);
+    add("wl.stream", wlStream);
+    add("wl.chase", wlChase);
+    add("wl.histogram", wlHistogram);
+    add("wl.stencil", wlStencil);
+    add("wl.fileserver", wlFileserver);
+    add("wl.compile", wlCompile);
+    add("wl.build", wlBuild);
+    add("wl.memstress", wlMemstress);
+}
+
+std::string
+readGuestFile(system::System& sys, const std::string& path)
+{
+    auto& vfs = sys.kernel().vfs();
+    std::int64_t ino_id = vfs.lookup(path);
+    if (ino_id < 0)
+        return {};
+    os::Inode& ino = vfs.inode(static_cast<os::InodeId>(ino_id));
+    std::string out(ino.size, '\0');
+    // Assemble from the page cache where present, disk image otherwise.
+    for (std::uint64_t off = 0; off < ino.size; off += pageSize) {
+        std::uint64_t n = std::min<std::uint64_t>(pageSize,
+                                                  ino.size - off);
+        auto cit = ino.cache.find(pageNumber(off));
+        if (cit != ino.cache.end()) {
+            Mpa mpa = sys.vmm().pmap().translate(cit->second.gpa);
+            auto frame = sys.machine().memory().framePlain(mpa);
+            std::memcpy(out.data() + off, frame.data(), n);
+        } else if (off < ino.diskData.size()) {
+            std::uint64_t have =
+                std::min<std::uint64_t>(n, ino.diskData.size() - off);
+            std::memcpy(out.data() + off, ino.diskData.data() + off,
+                        have);
+        }
+    }
+    return out;
+}
+
+std::string
+resultOf(system::System& sys, const std::string& name)
+{
+    return readGuestFile(sys, "/results/" + name);
+}
+
+void
+writeGuestFile(system::System& sys, const std::string& path,
+               const std::string& contents)
+{
+    auto& vfs = sys.kernel().vfs();
+    std::int64_t ino_id = vfs.lookup(path);
+    if (ino_id < 0) {
+        ino_id = vfs.create(path, os::InodeType::File);
+        osh_assert(ino_id > 0, "writeGuestFile: cannot create '%s'",
+                   path.c_str());
+    }
+    os::Inode& ino = vfs.inode(static_cast<os::InodeId>(ino_id));
+    ino.diskData.assign(
+        reinterpret_cast<const std::uint8_t*>(contents.data()),
+        reinterpret_cast<const std::uint8_t*>(contents.data()) +
+            contents.size());
+    ino.size = contents.size();
+}
+
+} // namespace osh::workloads

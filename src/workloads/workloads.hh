@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Guest workload programs.
+ *
+ * Stand-ins for the paper's evaluation workloads, matched by resource
+ * profile rather than by name:
+ *
+ *   - compute kernels (matmul, sort, stream, pointer-chase, histogram,
+ *     stencil): SPEC-CPU-like, almost no kernel interaction;
+ *   - a file server: I/O-intensive request loop over a data file
+ *     (Apache with static files);
+ *   - a build driver: process-creation-heavy fork/spawn + pipe tree
+ *     (parallel compilation);
+ *   - microbenchmark helpers used by the syscall-latency table.
+ *
+ * Every program is registered cloaked; on a System with cloaking
+ * disabled the same programs run as the native baseline. All programs
+ * are deterministic given the system seed and write a result checksum
+ * to /results/<name>, which tests compare across native and cloaked
+ * runs (the transparency property).
+ */
+
+#ifndef OSH_WORKLOADS_WORKLOADS_HH
+#define OSH_WORKLOADS_WORKLOADS_HH
+
+#include "system/system.hh"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace osh::workloads
+{
+
+/** Names of the compute-kernel programs (the F1 suite). */
+const std::vector<std::string>& computeKernelNames();
+
+/** Register every workload program on a system. */
+void registerAll(system::System& sys);
+
+/** Read a guest file's contents from the host (for verification). */
+std::string readGuestFile(system::System& sys, const std::string& path);
+
+/** Read the 16-hex-digit checksum a workload wrote to /results/. */
+std::string resultOf(system::System& sys, const std::string& name);
+
+/** Write a guest file from the host (test fixtures). */
+void writeGuestFile(system::System& sys, const std::string& path,
+                    const std::string& contents);
+
+} // namespace osh::workloads
+
+#endif // OSH_WORKLOADS_WORKLOADS_HH

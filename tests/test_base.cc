@@ -1,0 +1,193 @@
+/**
+ * @file
+ * Unit tests for src/base: types, byte helpers, RNG, stats, logging.
+ */
+
+#include "base/bytes.hh"
+#include "base/logging.hh"
+#include "base/rng.hh"
+#include "base/stats.hh"
+#include "base/types.hh"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace osh
+{
+namespace
+{
+
+TEST(Types, PageArithmetic)
+{
+    EXPECT_EQ(pageSize, 4096u);
+    EXPECT_EQ(pageBase(0x12345), 0x12000u);
+    EXPECT_EQ(pageOffset(0x12345), 0x345u);
+    EXPECT_EQ(pageNumber(0x12345), 0x12u);
+    EXPECT_EQ(roundUpToPage(0), 0u);
+    EXPECT_EQ(roundUpToPage(1), pageSize);
+    EXPECT_EQ(roundUpToPage(pageSize), pageSize);
+    EXPECT_EQ(roundUpToPage(pageSize + 1), 2 * pageSize);
+}
+
+TEST(Bytes, LittleEndianRoundTrip)
+{
+    std::uint8_t buf[8];
+    storeLe64(buf, 0x0123456789abcdefull);
+    EXPECT_EQ(buf[0], 0xef);
+    EXPECT_EQ(buf[7], 0x01);
+    EXPECT_EQ(loadLe64(buf), 0x0123456789abcdefull);
+    storeLe32(buf, 0xdeadbeef);
+    EXPECT_EQ(loadLe32(buf), 0xdeadbeefu);
+    storeLe16(buf, 0xcafe);
+    EXPECT_EQ(loadLe16(buf), 0xcafeu);
+}
+
+TEST(Bytes, BigEndianRoundTrip)
+{
+    std::uint8_t buf[8];
+    storeBe32(buf, 0x01020304);
+    EXPECT_EQ(buf[0], 0x01);
+    EXPECT_EQ(buf[3], 0x04);
+    EXPECT_EQ(loadBe32(buf), 0x01020304u);
+    storeBe64(buf, 0x1122334455667788ull);
+    EXPECT_EQ(buf[0], 0x11);
+    EXPECT_EQ(buf[7], 0x88);
+}
+
+TEST(Bytes, HexRoundTrip)
+{
+    std::vector<std::uint8_t> data = {0x00, 0x7f, 0xff, 0xab};
+    std::string hex = toHex(data);
+    EXPECT_EQ(hex, "007fffab");
+    EXPECT_EQ(fromHex(hex), data);
+    EXPECT_EQ(fromHex("0G").size(), 0u);
+    EXPECT_EQ(fromHex("abc").size(), 0u);
+    EXPECT_TRUE(fromHex("ABCD") == fromHex("abcd"));
+}
+
+TEST(Bytes, ConstantTimeEqual)
+{
+    std::vector<std::uint8_t> a = {1, 2, 3};
+    std::vector<std::uint8_t> b = {1, 2, 3};
+    std::vector<std::uint8_t> c = {1, 2, 4};
+    std::vector<std::uint8_t> d = {1, 2};
+    EXPECT_TRUE(constantTimeEqual(a, b));
+    EXPECT_FALSE(constantTimeEqual(a, c));
+    EXPECT_FALSE(constantTimeEqual(a, d));
+}
+
+TEST(Rng, Deterministic)
+{
+    Rng a(42), b(42), c(43);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next64(), b.next64());
+    bool diff = false;
+    Rng a2(42);
+    for (int i = 0; i < 100; ++i)
+        diff |= a2.next64() != c.next64();
+    EXPECT_TRUE(diff);
+}
+
+TEST(Rng, BoundedStaysInRange)
+{
+    Rng rng(7);
+    for (int i = 0; i < 1000; ++i) {
+        std::uint64_t v = rng.nextBounded(17);
+        EXPECT_LT(v, 17u);
+    }
+    // Degenerate bound of 1 always yields 0.
+    EXPECT_EQ(rng.nextBounded(1), 0u);
+}
+
+TEST(Rng, BoundedCoversRange)
+{
+    Rng rng(11);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 500; ++i)
+        seen.insert(rng.nextBounded(8));
+    EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, DoubleInUnitInterval)
+{
+    Rng rng(3);
+    for (int i = 0; i < 1000; ++i) {
+        double d = rng.nextDouble();
+        EXPECT_GE(d, 0.0);
+        EXPECT_LT(d, 1.0);
+    }
+}
+
+TEST(Rng, FillCoversOddLengths)
+{
+    Rng rng(5);
+    std::vector<std::uint8_t> buf(13, 0);
+    rng.fill(buf);
+    // Extremely unlikely that 13 random bytes are all zero.
+    int nonzero = 0;
+    for (auto b : buf)
+        nonzero += b != 0;
+    EXPECT_GT(nonzero, 0);
+}
+
+TEST(Stats, CountersAccumulate)
+{
+    StatGroup g("vmm");
+    g.counter("exits").inc();
+    g.counter("exits").inc(4);
+    EXPECT_EQ(g.value("exits"), 5u);
+    EXPECT_EQ(g.value("missing"), 0u);
+    g.resetAll();
+    EXPECT_EQ(g.value("exits"), 0u);
+}
+
+TEST(Stats, DumpFormat)
+{
+    StatGroup g("cloak");
+    g.counter("faults").inc(2);
+    g.counter("decrypts").inc(1);
+    std::string d = g.dump();
+    EXPECT_NE(d.find("cloak.faults 2"), std::string::npos);
+    EXPECT_NE(d.find("cloak.decrypts 1"), std::string::npos);
+}
+
+TEST(Stats, SnapshotSorted)
+{
+    StatGroup g("x");
+    g.counter("b").inc(2);
+    g.counter("a").inc(1);
+    auto snap = g.snapshot();
+    ASSERT_EQ(snap.size(), 2u);
+    EXPECT_EQ(snap[0].first, "a");
+    EXPECT_EQ(snap[1].first, "b");
+}
+
+TEST(Logging, FormatString)
+{
+    EXPECT_EQ(formatString("x=%d s=%s", 3, "hi"), "x=3 s=hi");
+}
+
+// Capture warn output through a replaced sink.
+std::string* gCaptured = nullptr;
+
+void
+captureSink(LogLevel, const std::string& msg)
+{
+    if (gCaptured)
+        *gCaptured = msg;
+}
+
+TEST(Logging, SinkReplacement)
+{
+    std::string captured;
+    gCaptured = &captured;
+    LogSink prev = setLogSink(captureSink);
+    osh_warn("count=%d", 7);
+    setLogSink(prev);
+    gCaptured = nullptr;
+    EXPECT_EQ(captured, "count=7");
+}
+
+} // namespace
+} // namespace osh

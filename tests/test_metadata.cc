@@ -1,0 +1,259 @@
+/**
+ * @file
+ * Unit tests for the protection-metadata store: page metadata, resource
+ * cloning, the cache cost model, and sealed-bundle persistence
+ * (MAC verification, identity binding, rollback refusal).
+ */
+
+#include "cloak/metadata.hh"
+#include "crypto/sha256.hh"
+#include "sim/cost_model.hh"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+namespace osh::cloak
+{
+namespace
+{
+
+crypto::Digest
+ident(const char* s)
+{
+    return crypto::Sha256::hash(std::span<const std::uint8_t>(
+        reinterpret_cast<const std::uint8_t*>(s), std::strlen(s)));
+}
+
+class MetadataTest : public ::testing::Test
+{
+  protected:
+    MetadataTest() : cost_(), store_(cost_, 4) {}
+
+    sim::CostModel cost_;
+    MetadataStore store_;
+};
+
+TEST_F(MetadataTest, ResourceLifecycle)
+{
+    Resource& r = store_.createResource(3);
+    EXPECT_EQ(r.domain, 3u);
+    EXPECT_EQ(r.keyId, r.id);
+    EXPECT_NE(store_.find(r.id), nullptr);
+    ResourceId id = r.id;
+    store_.destroyResource(id);
+    EXPECT_EQ(store_.find(id), nullptr);
+}
+
+TEST_F(MetadataTest, PageMetaDefaults)
+{
+    Resource& r = store_.createResource(1);
+    PageMeta& m = store_.page(r, 7);
+    EXPECT_FALSE(m.initialized);
+    EXPECT_EQ(m.version, 0u);
+    m.initialized = true;
+    m.version = 3;
+    EXPECT_EQ(store_.page(r, 7).version, 3u);
+}
+
+TEST_F(MetadataTest, CloneAliasesKeyAndCopiesPages)
+{
+    Resource& src = store_.createResource(1);
+    PageMeta& m = store_.page(src, 0);
+    m.initialized = true;
+    m.version = 5;
+    m.state = PageState::Encrypted;
+    m.hash[0] = 0xaa;
+
+    Resource& clone = store_.cloneResource(src, 2);
+    EXPECT_EQ(clone.keyId, src.keyId);
+    EXPECT_NE(clone.id, src.id);
+    EXPECT_EQ(clone.domain, 2u);
+    const PageMeta& cm = clone.pages.at(0);
+    EXPECT_EQ(cm.version, 5u);
+    EXPECT_EQ(cm.hash[0], 0xaa);
+    EXPECT_EQ(cm.state, PageState::Encrypted);
+    EXPECT_EQ(cm.residentGpa, badAddr);
+}
+
+TEST_F(MetadataTest, ClonePlaintextStateForcedEncrypted)
+{
+    Resource& src = store_.createResource(1);
+    PageMeta& m = store_.page(src, 0);
+    m.initialized = true;
+    m.state = PageState::PlaintextDirty;
+    m.residentGpa = 0x1000;
+    Resource& clone = store_.cloneResource(src, 2);
+    EXPECT_EQ(clone.pages.at(0).state, PageState::Encrypted);
+}
+
+TEST_F(MetadataTest, CacheChargesHitVsMiss)
+{
+    Resource& r = store_.createResource(1);
+    // Creation is born hot: charged as a hit.
+    store_.page(r, 0);
+    EXPECT_EQ(cost_.stats().value("metadata_hit"), 1u);
+    EXPECT_EQ(cost_.stats().value("metadata_miss"), 0u);
+
+    // Push page 0 out of the 4-entry cache with other entries.
+    for (std::uint64_t i = 1; i <= 5; ++i)
+        store_.page(r, i);
+    EXPECT_EQ(cost_.stats().value("metadata_miss"), 0u);
+
+    // Re-touching the evicted (but existing) entry is a miss and costs
+    // more than a subsequent hit.
+    Cycles before = cost_.cycles();
+    store_.page(r, 0);
+    Cycles miss_cost = cost_.cycles() - before;
+    before = cost_.cycles();
+    store_.page(r, 0);
+    Cycles hit_cost = cost_.cycles() - before;
+    EXPECT_GT(miss_cost, hit_cost);
+    EXPECT_EQ(cost_.stats().value("metadata_miss"), 1u);
+}
+
+TEST_F(MetadataTest, CacheLruEvicts)
+{
+    Resource& r = store_.createResource(1);
+    // Capacity 4: touch 5 distinct pages, then the first again.
+    for (std::uint64_t i = 0; i < 5; ++i)
+        store_.page(r, i);
+    std::uint64_t misses = cost_.stats().value("metadata_miss");
+    store_.page(r, 0); // evicted -> miss again
+    EXPECT_EQ(cost_.stats().value("metadata_miss"), misses + 1);
+    store_.page(r, 4); // recent -> hit
+    EXPECT_EQ(cost_.stats().value("metadata_miss"), misses + 1);
+}
+
+TEST_F(MetadataTest, CapacityChangeShrinksCache)
+{
+    Resource& r = store_.createResource(1);
+    for (std::uint64_t i = 0; i < 4; ++i)
+        store_.page(r, i);
+    store_.setCacheCapacity(1);
+    std::uint64_t misses = cost_.stats().value("metadata_miss");
+    store_.page(r, 0); // must have been evicted
+    EXPECT_GT(cost_.stats().value("metadata_miss"), misses);
+}
+
+class SealTest : public MetadataTest
+{
+  protected:
+    SealTest()
+    {
+        key_.fill(0x42);
+        owner_ = ident("prog-a");
+    }
+
+    Resource&
+    makeFileResource(std::uint64_t file_key = 77)
+    {
+        Resource& r = store_.createResource(1, true, file_key);
+        PageMeta& m = store_.page(r, 0);
+        m.initialized = true;
+        m.version = 2;
+        m.state = PageState::Encrypted;
+        m.iv[3] = 9;
+        m.hash[5] = 0x77;
+        PageMeta& m1 = store_.page(r, 3);
+        m1.initialized = true;
+        m1.version = 1;
+        return r;
+    }
+
+    crypto::Digest key_;
+    crypto::Digest owner_;
+};
+
+TEST_F(SealTest, SealUnsealRoundTrip)
+{
+    Resource& src = makeFileResource();
+    auto bundle = store_.seal(src, key_, owner_);
+
+    Resource& dst = store_.createResource(2, true, 77);
+    ASSERT_TRUE(store_.unseal(bundle, key_, owner_, dst));
+    EXPECT_EQ(dst.pages.size(), 2u);
+    EXPECT_EQ(dst.pages.at(0).version, 2u);
+    EXPECT_EQ(dst.pages.at(0).iv[3], 9);
+    EXPECT_EQ(dst.pages.at(0).hash[5], 0x77);
+    EXPECT_EQ(dst.pages.at(3).version, 1u);
+    EXPECT_EQ(dst.pages.at(0).state, PageState::Encrypted);
+}
+
+TEST_F(SealTest, TamperedBundleRejected)
+{
+    Resource& src = makeFileResource();
+    auto bundle = store_.seal(src, key_, owner_);
+    Resource& dst = store_.createResource(2, true, 77);
+    for (std::size_t pos : {0u, 20u, 60u}) {
+        auto bad = bundle;
+        bad[pos % bad.size()] ^= 1;
+        EXPECT_FALSE(store_.unseal(bad, key_, owner_, dst));
+    }
+    // MAC truncation.
+    auto shorter = bundle;
+    shorter.pop_back();
+    EXPECT_FALSE(store_.unseal(shorter, key_, owner_, dst));
+    // Empty bundle.
+    EXPECT_FALSE(store_.unseal({}, key_, owner_, dst));
+}
+
+TEST_F(SealTest, WrongKeyRejected)
+{
+    Resource& src = makeFileResource();
+    auto bundle = store_.seal(src, key_, owner_);
+    crypto::Digest other_key = key_;
+    other_key[0] ^= 1;
+    Resource& dst = store_.createResource(2, true, 77);
+    EXPECT_FALSE(store_.unseal(bundle, other_key, owner_, dst));
+}
+
+TEST_F(SealTest, WrongIdentityRejected)
+{
+    Resource& src = makeFileResource();
+    auto bundle = store_.seal(src, key_, owner_);
+    Resource& dst = store_.createResource(2, true, 77);
+    EXPECT_FALSE(store_.unseal(bundle, key_, ident("prog-b"), dst));
+}
+
+TEST_F(SealTest, RollbackRejected)
+{
+    Resource& src = makeFileResource();
+    auto v1 = store_.seal(src, key_, owner_); // version 1
+    auto v2 = store_.seal(src, key_, owner_); // version 2
+
+    Resource& dst = store_.createResource(2, true, 77);
+    // The newest bundle imports fine.
+    EXPECT_TRUE(store_.unseal(v2, key_, owner_, dst));
+    // Replaying the older bundle is refused.
+    EXPECT_FALSE(store_.unseal(v1, key_, owner_, dst));
+    EXPECT_EQ(store_.stats().value("unseal_rollback"), 1u);
+    EXPECT_EQ(store_.lastSealedVersion(77), 2u);
+}
+
+TEST_F(SealTest, DistinctFileKeysVersionIndependently)
+{
+    Resource& a = makeFileResource(100);
+    Resource& b = makeFileResource(200);
+    store_.seal(a, key_, owner_);
+    store_.seal(a, key_, owner_);
+    auto bundle_b = store_.seal(b, key_, owner_);
+    // b's first seal is version 1 for key 200 and imports fine even
+    // though key 100 is at version 2.
+    Resource& dst = store_.createResource(2, true, 200);
+    EXPECT_TRUE(store_.unseal(bundle_b, key_, owner_, dst));
+}
+
+TEST_F(SealTest, SplicedPageCountRejected)
+{
+    Resource& src = makeFileResource();
+    auto bundle = store_.seal(src, key_, owner_);
+    // Chop a page record out (keeping the MAC): must fail the MAC.
+    auto bad = bundle;
+    bad.erase(bad.begin() + 60, bad.begin() + 60 + 65);
+    Resource& dst = store_.createResource(2, true, 77);
+    EXPECT_FALSE(store_.unseal(bad, key_, owner_, dst));
+}
+
+} // namespace
+} // namespace osh::cloak

@@ -1,0 +1,543 @@
+/**
+ * @file
+ * Guest-OS integration tests (native, no cloaking): memory management,
+ * demand paging, COW fork, files, pipes, signals, spawn/exec/wait,
+ * swapping under memory pressure.
+ */
+
+#include "os/env.hh"
+#include "system/system.hh"
+#include "workloads/workloads.hh"
+
+#include <gtest/gtest.h>
+
+namespace osh
+{
+namespace
+{
+
+using os::Env;
+using system::System;
+using system::SystemConfig;
+
+SystemConfig
+nativeConfig(std::uint64_t frames = 1024)
+{
+    SystemConfig cfg;
+    cfg.cloakingEnabled = false;
+    cfg.guestFrames = frames;
+    cfg.preemptOpsPerTick = 0; // Deterministic single-flow tests.
+    return cfg;
+}
+
+/** Run a single program body and return its exit result. */
+system::ExitResult
+runBody(const SystemConfig& cfg, std::function<int(Env&)> body)
+{
+    System sys(cfg);
+    sys.addProgram("test", os::Program{std::move(body), false, 64});
+    return sys.runProgram("test");
+}
+
+TEST(OsMemory, AnonAllocZeroFilledAndWritable)
+{
+    auto r = runBody(nativeConfig(), [](Env& env) {
+        GuestVA p = env.allocPages(4);
+        // Demand-zero contents.
+        for (GuestVA off = 0; off < 4 * pageSize; off += 512) {
+            if (env.load64(p + off) != 0)
+                return 1;
+        }
+        env.store64(p + 100, 0xdeadbeef);
+        if (env.load64(p + 100) != 0xdeadbeef)
+            return 2;
+        // Page-crossing access.
+        env.store64(p + pageSize - 4, 0x1122334455667788ull);
+        if (env.load64(p + pageSize - 4) != 0x1122334455667788ull)
+            return 3;
+        return 0;
+    });
+    EXPECT_EQ(r.status, 0);
+    EXPECT_FALSE(r.killed);
+}
+
+TEST(OsMemory, MunmapThenAccessKills)
+{
+    auto r = runBody(nativeConfig(), [](Env& env) {
+        GuestVA p = env.allocPages(1);
+        env.store64(p, 1);
+        env.munmap(p);
+        env.load64(p); // must fault fatally
+        return 0;
+    });
+    EXPECT_TRUE(r.killed);
+    EXPECT_NE(r.killReason.find("segfault"), std::string::npos);
+}
+
+TEST(OsMemory, WriteToReadOnlyMappingKills)
+{
+    auto r = runBody(nativeConfig(), [](Env& env) {
+        std::int64_t va = env.mmap(pageSize, os::protRead, os::mapAnon);
+        if (va < 0)
+            return 1;
+        env.store8(static_cast<GuestVA>(va), 1);
+        return 0;
+    });
+    EXPECT_TRUE(r.killed);
+}
+
+TEST(OsMemory, StackIsUsable)
+{
+    auto r = runBody(nativeConfig(), [](Env& env) {
+        GuestVA sp = os::stackTop - 8;
+        env.store64(sp, 0xabcd);
+        return env.load64(sp) == 0xabcd ? 0 : 1;
+    });
+    EXPECT_EQ(r.status, 0);
+}
+
+TEST(OsFiles, CreateWriteReadRoundTrip)
+{
+    auto r = runBody(nativeConfig(), [](Env& env) {
+        env.mkdir("/data");
+        std::int64_t fd = env.open("/data/f.txt",
+                                   os::openCreate | os::openRead |
+                                       os::openWrite);
+        if (fd < 0)
+            return 1;
+        if (env.writeAll(fd, "hello world") != 11)
+            return 2;
+        env.lseek(fd, 0, os::seekSet);
+        if (env.readSome(fd, 64) != "hello world")
+            return 3;
+        os::StatBuf sb{};
+        env.fstat(fd, sb);
+        if (sb.size != 11 || sb.isDir != 0)
+            return 4;
+        env.close(fd);
+        return 0;
+    });
+    EXPECT_EQ(r.status, 0);
+}
+
+TEST(OsFiles, LargeFileSpanningManyPages)
+{
+    auto r = runBody(nativeConfig(), [](Env& env) {
+        std::int64_t fd = env.open("/big",
+                                   os::openCreate | os::openRead |
+                                       os::openWrite);
+        GuestVA buf = env.allocPages(4);
+        // Write 5 pages worth with a pattern.
+        for (int chunk = 0; chunk < 5; ++chunk) {
+            for (GuestVA off = 0; off < pageSize; off += 8)
+                env.store64(buf + off, chunk * 1000 + off);
+            if (env.write(fd, buf, pageSize) !=
+                static_cast<std::int64_t>(pageSize))
+                return 1;
+        }
+        // Seek into the middle and verify.
+        env.lseek(fd, 3 * pageSize + 16, os::seekSet);
+        GuestVA rd = env.allocPages(1);
+        if (env.read(fd, rd, 8) != 8)
+            return 2;
+        if (env.load64(rd) != 3000 + 16)
+            return 3;
+        os::StatBuf sb{};
+        env.fstat(fd, sb);
+        return sb.size == 5 * pageSize ? 0 : 4;
+    });
+    EXPECT_EQ(r.status, 0);
+}
+
+TEST(OsFiles, UnlinkRenameReaddir)
+{
+    auto r = runBody(nativeConfig(), [](Env& env) {
+        env.mkdir("/d");
+        std::int64_t a = env.open("/d/a", os::openCreate | os::openWrite);
+        std::int64_t b = env.open("/d/b", os::openCreate | os::openWrite);
+        env.close(a);
+        env.close(b);
+        if (env.rename("/d/a", "/d/c") != 0)
+            return 1;
+        if (env.open("/d/a", os::openRead) >= 0)
+            return 2;
+        if (env.unlink("/d/b") != 0)
+            return 3;
+
+        std::int64_t dfd = env.open("/d", os::openRead);
+        std::string name;
+        if (env.readdir(dfd, 0, name) < 0 || name != "c")
+            return 4;
+        if (env.readdir(dfd, 1, name) != -os::errNoEnt)
+            return 5;
+        env.close(dfd);
+        return 0;
+    });
+    EXPECT_EQ(r.status, 0);
+}
+
+TEST(OsFiles, FtruncateAndEof)
+{
+    auto r = runBody(nativeConfig(), [](Env& env) {
+        std::int64_t fd = env.open("/t", os::openCreate | os::openRead |
+                                             os::openWrite);
+        env.writeAll(fd, "0123456789");
+        env.ftruncate(fd, 4);
+        env.lseek(fd, 0, os::seekSet);
+        if (env.readSome(fd, 32) != "0123")
+            return 1;
+        // Read at EOF returns 0.
+        GuestVA buf = env.allocPages(1);
+        if (env.read(fd, buf, 8) != 0)
+            return 2;
+        env.close(fd);
+        return 0;
+    });
+    EXPECT_EQ(r.status, 0);
+}
+
+TEST(OsFiles, MmapSharedFileReflectsWrites)
+{
+    auto r = runBody(nativeConfig(), [](Env& env) {
+        std::int64_t fd = env.open("/m", os::openCreate | os::openRead |
+                                             os::openWrite);
+        env.writeAll(fd, std::string(100, 'x'));
+        std::int64_t va = env.mmap(pageSize, os::protRead | os::protWrite,
+                                   os::mapShared, fd, 0);
+        if (va < 0)
+            return 1;
+        if (env.load8(static_cast<GuestVA>(va)) != 'x')
+            return 2;
+        env.store8(static_cast<GuestVA>(va), 'y');
+        // read() must see the mmap write (same page cache).
+        env.lseek(fd, 0, os::seekSet);
+        std::string s = env.readSome(fd, 1);
+        env.close(fd);
+        return s == "y" ? 0 : 3;
+    });
+    EXPECT_EQ(r.status, 0);
+}
+
+TEST(OsFiles, BadDescriptorErrors)
+{
+    auto r = runBody(nativeConfig(), [](Env& env) {
+        GuestVA buf = env.allocPages(1);
+        if (env.read(99, buf, 8) != -os::errBadF)
+            return 1;
+        if (env.close(99) != -os::errBadF)
+            return 2;
+        if (env.open("/nope/deep", os::openRead) != -os::errNoEnt)
+            return 3;
+        if (env.open("/nofile", os::openRead) != -os::errNoEnt)
+            return 4;
+        return 0;
+    });
+    EXPECT_EQ(r.status, 0);
+}
+
+TEST(OsPipes, RoundTripAndEof)
+{
+    auto r = runBody(nativeConfig(), [](Env& env) {
+        int rfd = -1, wfd = -1;
+        if (env.pipe(rfd, wfd) != 0)
+            return 1;
+        if (env.writeAll(wfd, "ping") != 4)
+            return 2;
+        if (env.readSome(rfd, 16) != "ping")
+            return 3;
+        env.close(wfd);
+        GuestVA buf = env.allocPages(1);
+        // All writers closed: EOF.
+        if (env.read(rfd, buf, 8) != 0)
+            return 4;
+        env.close(rfd);
+        return 0;
+    });
+    EXPECT_EQ(r.status, 0);
+}
+
+TEST(OsPipes, WriteToClosedReaderFails)
+{
+    auto r = runBody(nativeConfig(), [](Env& env) {
+        int rfd = -1, wfd = -1;
+        env.pipe(rfd, wfd);
+        env.close(rfd);
+        GuestVA buf = env.allocPages(1);
+        return env.write(wfd, buf, 4) == -os::errPipe ? 0 : 1;
+    });
+    EXPECT_EQ(r.status, 0);
+}
+
+TEST(OsPipes, BlockingHandoffBetweenProcesses)
+{
+    auto r = runBody(nativeConfig(), [](Env& env) {
+        int rfd = -1, wfd = -1;
+        env.pipe(rfd, wfd);
+        Pid child = env.fork([rfd, wfd](Env& c) {
+            c.close(wfd);
+            // Blocks until the parent writes.
+            std::string got = c.readSome(rfd, 32);
+            c.close(rfd);
+            return got == "work item" ? 7 : 1;
+        });
+        if (child <= 0)
+            return 1;
+        env.close(rfd);
+        env.yield(); // Let the child block on the empty pipe first.
+        env.writeAll(wfd, "work item");
+        env.close(wfd);
+        int status = -1;
+        if (env.waitpid(child, &status) != child)
+            return 2;
+        return status == 7 ? 0 : 3;
+    });
+    EXPECT_EQ(r.status, 0);
+}
+
+TEST(OsProcess, ForkSeesSnapshotCow)
+{
+    auto r = runBody(nativeConfig(), [](Env& env) {
+        GuestVA p = env.allocPages(2);
+        env.store64(p, 111);
+        env.store64(p + pageSize, 222);
+        Pid child = env.fork([p](Env& c) {
+            // Child sees the snapshot...
+            if (c.load64(p) != 111)
+                return 1;
+            // ...and its writes are private.
+            c.store64(p, 999);
+            return c.load64(p) == 999 ? 5 : 2;
+        });
+        int status = -1;
+        env.waitpid(child, &status);
+        if (status != 5)
+            return 3;
+        // Parent value undisturbed by the child's write.
+        if (env.load64(p) != 111)
+            return 4;
+        // Parent writes work too (COW break on the parent side).
+        env.store64(p, 123);
+        return env.load64(p) == 123 ? 0 : 5;
+    });
+    EXPECT_EQ(r.status, 0);
+}
+
+TEST(OsProcess, WaitPidSpecificAndAny)
+{
+    auto r = runBody(nativeConfig(), [](Env& env) {
+        Pid a = env.fork([](Env&) { return 10; });
+        Pid b = env.fork([](Env&) { return 20; });
+        int status = -1;
+        if (env.waitpid(b, &status) != b || status != 20)
+            return 1;
+        if (env.waitpid(-1, &status) != a || status != 10)
+            return 2;
+        // No children left.
+        if (env.waitpid(-1, &status) != -os::errChild)
+            return 3;
+        return 0;
+    });
+    EXPECT_EQ(r.status, 0);
+}
+
+TEST(OsProcess, SpawnRunsProgramWithArgs)
+{
+    SystemConfig cfg = nativeConfig();
+    System sys(cfg);
+    sys.addProgram("child", os::Program{[](Env& env) {
+        if (env.args().size() != 2)
+            return 1;
+        return env.args()[0] == "alpha" && env.args()[1] == "42" ? 33
+                                                                  : 2;
+    }, false, 64});
+    sys.addProgram("parent", os::Program{[](Env& env) {
+        Pid c = env.spawn("child", {"alpha", "42"});
+        if (c <= 0)
+            return 1;
+        int status = -1;
+        env.waitpid(c, &status);
+        return status == 33 ? 0 : 2;
+    }, false, 64});
+    auto r = sys.runProgram("parent");
+    EXPECT_EQ(r.status, 0);
+}
+
+TEST(OsProcess, ExecReplacesImage)
+{
+    SystemConfig cfg = nativeConfig();
+    System sys(cfg);
+    sys.addProgram("second", os::Program{[](Env& env) {
+        // Fresh image: the first stack page must be demand-zero.
+        if (env.load64(os::stackTop - 8) != 0)
+            return 1;
+        if (env.args().size() != 1 || env.args()[0] != "from-exec")
+            return 2;
+        return 44;
+    }, false, 64});
+    sys.addProgram("first", os::Program{[](Env& env) {
+        env.store64(os::stackTop - 8, 0x5a5a); // dirty the stack
+        env.exec("second", {"from-exec"});
+        return 0; // exec does not return
+    }, false, 64});
+    auto r = sys.runProgram("first");
+    EXPECT_EQ(r.status, 44);
+}
+
+TEST(OsProcess, GetPidAndParent)
+{
+    auto r = runBody(nativeConfig(), [](Env& env) {
+        Pid self = env.getpid();
+        if (self <= 0)
+            return 1;
+        Pid child = env.fork([self](Env& c) {
+            return c.getppid() == self ? 11 : 1;
+        });
+        int status = -1;
+        env.waitpid(child, &status);
+        return status == 11 ? 0 : 2;
+    });
+    EXPECT_EQ(r.status, 0);
+}
+
+TEST(OsSignals, HandlerRunsAtSyscallBoundary)
+{
+    auto r = runBody(nativeConfig(), [](Env& env) {
+        int fired = 0;
+        env.onSignal(os::sigUser1, [&fired](Env&, int sig) {
+            fired = sig;
+        });
+        env.kill(env.getpid(), os::sigUser1);
+        env.yield(); // Delivery point.
+        return fired == os::sigUser1 ? 0 : 1;
+    });
+    EXPECT_EQ(r.status, 0);
+}
+
+TEST(OsSignals, DefaultActionTerminates)
+{
+    auto r = runBody(nativeConfig(), [](Env& env) {
+        env.kill(env.getpid(), os::sigTerm);
+        env.yield();
+        return 0; // Unreachable.
+    });
+    EXPECT_TRUE(r.killed);
+    EXPECT_NE(r.killReason.find("signal"), std::string::npos);
+}
+
+TEST(OsSignals, KillAnotherBlockedProcess)
+{
+    auto r = runBody(nativeConfig(), [](Env& env) {
+        int rfd = -1, wfd = -1;
+        env.pipe(rfd, wfd);
+        Pid child = env.fork([rfd](Env& c) {
+            GuestVA buf = c.allocPages(1);
+            c.read(rfd, buf, 8); // Blocks forever.
+            return 0;
+        });
+        env.yield(); // Let the child block.
+        env.kill(child, os::sigKill);
+        int status = -1;
+        if (env.waitpid(child, &status) != child)
+            return 1;
+        return status == -1 ? 0 : 2; // Killed marker.
+    });
+    EXPECT_EQ(r.status, 0);
+}
+
+TEST(OsSwap, SurvivesMemoryPressure)
+{
+    // 96 frames of RAM, a working set of ~200 pages: must swap and
+    // still compute the right answer.
+    SystemConfig cfg = nativeConfig(96);
+    System sys(cfg);
+    sys.addProgram("stress", os::Program{[](Env& env) {
+        const std::uint64_t pages = 200;
+        GuestVA buf = env.allocPages(pages);
+        for (std::uint64_t p = 0; p < pages; ++p)
+            env.store64(buf + p * pageSize, p * 7 + 1);
+        // Re-walk: every page verifies after swap-out/swap-in.
+        for (std::uint64_t p = 0; p < pages; ++p) {
+            if (env.load64(buf + p * pageSize) != p * 7 + 1)
+                return static_cast<int>(p + 1);
+        }
+        return 0;
+    }, false, 16});
+    auto r = sys.runProgram("stress");
+    EXPECT_EQ(r.status, 0);
+    EXPECT_GT(sys.kernel().stats().value("evicted_anon"), 0u);
+    EXPECT_GT(sys.kernel().stats().value("swap_ins"), 0u);
+}
+
+TEST(OsSwap, FileCacheEvictionWritesBack)
+{
+    SystemConfig cfg = nativeConfig(64);
+    System sys(cfg);
+    sys.addProgram("filepress", os::Program{[](Env& env) {
+        // Write a file bigger than RAM, then read it all back.
+        std::int64_t fd = env.open("/huge",
+                                   os::openCreate | os::openRead |
+                                       os::openWrite);
+        GuestVA buf = env.allocPages(1);
+        const std::uint64_t file_pages = 128;
+        for (std::uint64_t p = 0; p < file_pages; ++p) {
+            for (GuestVA off = 0; off < pageSize; off += 8)
+                env.store64(buf + off, p * pageSize + off);
+            env.write(fd, buf, pageSize);
+        }
+        env.lseek(fd, 0, os::seekSet);
+        for (std::uint64_t p = 0; p < file_pages; ++p) {
+            env.read(fd, buf, pageSize);
+            for (GuestVA off = 0; off < pageSize; off += 512) {
+                if (env.load64(buf + off) != p * pageSize + off)
+                    return static_cast<int>(p + 1);
+            }
+        }
+        env.close(fd);
+        return 0;
+    }, false, 16});
+    auto r = sys.runProgram("filepress");
+    EXPECT_EQ(r.status, 0);
+    EXPECT_GT(sys.kernel().stats().value("writebacks"), 0u);
+}
+
+TEST(OsSched, PreemptionInterleavesCompute)
+{
+    SystemConfig cfg = nativeConfig();
+    cfg.preemptOpsPerTick = 2000;
+    System sys(cfg);
+    sys.addProgram("spin", os::Program{[](Env& env) {
+        GuestVA p = env.allocPages(1);
+        for (int i = 0; i < 20000; ++i)
+            env.store64(p, static_cast<std::uint64_t>(i));
+        return 0;
+    }, false, 16});
+    sys.addProgram("boss", os::Program{[](Env& env) {
+        Pid a = env.spawn("spin");
+        Pid b = env.spawn("spin");
+        int sa = -1, sb = -1;
+        env.waitpid(a, &sa);
+        env.waitpid(b, &sb);
+        return sa == 0 && sb == 0 ? 0 : 1;
+    }, false, 16});
+    auto r = sys.runProgram("boss");
+    EXPECT_EQ(r.status, 0);
+    EXPECT_GT(sys.sched().stats().value("preemptions"), 0u);
+}
+
+TEST(OsDeterminism, IdenticalSeedsGiveIdenticalCycles)
+{
+    auto run_once = [] {
+        SystemConfig cfg;
+        cfg.cloakingEnabled = false;
+        cfg.guestFrames = 512;
+        cfg.seed = 77;
+        System sys(cfg);
+        workloads::registerAll(sys);
+        sys.runProgram("wl.sort", {"512"});
+        return sys.cycles();
+    };
+    EXPECT_EQ(run_once(), run_once());
+}
+
+} // namespace
+} // namespace osh

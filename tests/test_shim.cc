@@ -1,0 +1,406 @@
+/**
+ * @file
+ * Shim-focused integration tests: the three syscall adaptation classes
+ * (pass-through, marshalled, emulated), protected-file edge cases, and
+ * at-rest ciphertext tampering.
+ */
+
+#include "cloak/engine.hh"
+#include "os/env.hh"
+#include "system/system.hh"
+#include "workloads/workloads.hh"
+
+#include <gtest/gtest.h>
+
+namespace osh
+{
+namespace
+{
+
+using os::Env;
+using system::System;
+using system::SystemConfig;
+
+SystemConfig
+cloakedConfig()
+{
+    SystemConfig cfg;
+    cfg.cloakingEnabled = true;
+    cfg.guestFrames = 1024;
+    cfg.preemptOpsPerTick = 0;
+    return cfg;
+}
+
+system::ExitResult
+runCloaked(System& sys, std::function<int(Env&)> body)
+{
+    sys.addProgram("shimtest", os::Program{std::move(body), true, 64});
+    return sys.runProgram("shimtest");
+}
+
+TEST(ShimMarshal, DirectoryOperations)
+{
+    System sys(cloakedConfig());
+    auto r = runCloaked(sys, [](Env& env) {
+        if (env.mkdir("/dir") != 0)
+            return 1;
+        std::int64_t f =
+            env.open("/dir/one", os::openCreate | os::openWrite);
+        if (f < 0)
+            return 2;
+        env.close(f);
+        if (env.rename("/dir/one", "/dir/two") != 0)
+            return 3;
+        std::int64_t d = env.open("/dir", os::openRead);
+        std::string name;
+        if (env.readdir(d, 0, name) < 0 || name != "two")
+            return 4;
+        env.close(d);
+        if (env.unlink("/dir/two") != 0)
+            return 5;
+        return 0;
+    });
+    EXPECT_EQ(r.status, 0) << r.killReason;
+}
+
+TEST(ShimMarshal, FstatThroughBounce)
+{
+    System sys(cloakedConfig());
+    auto r = runCloaked(sys, [](Env& env) {
+        std::int64_t f = env.open("/f", os::openCreate | os::openWrite);
+        env.writeAll(f, "12345");
+        os::StatBuf sb{};
+        if (env.fstat(f, sb) != 0)
+            return 1;
+        env.close(f);
+        return sb.size == 5 && sb.isDir == 0 ? 0 : 2;
+    });
+    EXPECT_EQ(r.status, 0) << r.killReason;
+}
+
+TEST(ShimMarshal, PipesBetweenCloakedProcesses)
+{
+    System sys(cloakedConfig());
+    auto r = runCloaked(sys, [](Env& env) {
+        int rfd = -1, wfd = -1;
+        if (env.pipe(rfd, wfd) != 0)
+            return 1;
+        Pid child = env.fork([rfd, wfd](Env& c) {
+            c.close(static_cast<std::uint64_t>(wfd));
+            std::string got = c.readSome(
+                static_cast<std::uint64_t>(rfd), 64);
+            return got == "marshalled hello" ? 17 : 1;
+        });
+        env.close(static_cast<std::uint64_t>(rfd));
+        env.yield();
+        env.writeAll(static_cast<std::uint64_t>(wfd),
+                     "marshalled hello");
+        env.close(static_cast<std::uint64_t>(wfd));
+        int status = -1;
+        env.waitpid(child, &status);
+        return status == 17 ? 0 : 2;
+    });
+    EXPECT_EQ(r.status, 0) << r.killReason;
+}
+
+TEST(ShimMarshal, LargeReadsChunkThroughBounce)
+{
+    // Reads far larger than the bounce area must still round-trip.
+    System sys(cloakedConfig());
+    auto r = runCloaked(sys, [](Env& env) {
+        const std::uint64_t bytes = 48 * pageSize; // > bounce size
+        std::int64_t f = env.open("/big", os::openCreate |
+                                              os::openRead |
+                                              os::openWrite);
+        GuestVA buf = env.allocPages(bytes / pageSize);
+        for (GuestVA off = 0; off < bytes; off += 8)
+            env.store64(buf + off, off * 31 + 7);
+        if (env.write(f, buf, bytes) !=
+            static_cast<std::int64_t>(bytes))
+            return 1;
+        env.lseek(f, 0, os::seekSet);
+        GuestVA back = env.allocPages(bytes / pageSize);
+        if (env.read(f, back, bytes) !=
+            static_cast<std::int64_t>(bytes))
+            return 2;
+        for (GuestVA off = 0; off < bytes; off += 4096) {
+            if (env.load64(back + off) != off * 31 + 7)
+                return 3;
+        }
+        env.close(f);
+        return 0;
+    });
+    EXPECT_EQ(r.status, 0) << r.killReason;
+}
+
+TEST(ShimEmulated, SeekModesAndEof)
+{
+    System sys(cloakedConfig());
+    auto r = runCloaked(sys, [](Env& env) {
+        env.mkdir("/cloaked");
+        std::int64_t f = env.open("/cloaked/s", os::openCreate |
+                                                    os::openRead |
+                                                    os::openWrite);
+        env.writeAll(f, "abcdefgh");
+        if (env.lseek(f, -3, os::seekEnd) != 5)
+            return 1;
+        if (env.readSome(f, 8) != "fgh")
+            return 2;
+        if (env.lseek(f, 2, os::seekSet) != 2)
+            return 3;
+        if (env.lseek(f, 1, os::seekCur) != 3)
+            return 4;
+        if (env.readSome(f, 2) != "de")
+            return 5;
+        // Read at EOF.
+        env.lseek(f, 0, os::seekEnd);
+        GuestVA b = env.allocPages(1);
+        if (env.read(f, b, 8) != 0)
+            return 6;
+        // Negative seek rejected.
+        if (env.lseek(f, -100, os::seekSet) != -os::errInval)
+            return 7;
+        env.close(f);
+        return 0;
+    });
+    EXPECT_EQ(r.status, 0) << r.killReason;
+}
+
+TEST(ShimEmulated, FtruncateGrowsButNeverShrinks)
+{
+    System sys(cloakedConfig());
+    auto r = runCloaked(sys, [](Env& env) {
+        env.mkdir("/cloaked");
+        std::int64_t f = env.open("/cloaked/t", os::openCreate |
+                                                    os::openRead |
+                                                    os::openWrite);
+        env.writeAll(f, "data");
+        if (env.ftruncate(f, 2) != -os::errInval)
+            return 1; // shrink unsupported on protected files
+        if (env.ftruncate(f, 3 * pageSize) != 0)
+            return 2;
+        os::StatBuf sb{};
+        env.fstat(f, sb);
+        if (sb.size != 3 * pageSize)
+            return 3;
+        // The grown region reads back as zeroes.
+        env.lseek(f, 2 * pageSize, os::seekSet);
+        GuestVA b = env.allocPages(1);
+        if (env.read(f, b, 8) != 8)
+            return 4;
+        if (env.load64(b) != 0)
+            return 5;
+        env.close(f);
+        return 0;
+    });
+    EXPECT_EQ(r.status, 0) << r.killReason;
+}
+
+TEST(ShimEmulated, UnlinkDiscardsMetadataAndRecreateWorks)
+{
+    System sys(cloakedConfig());
+    auto r = runCloaked(sys, [](Env& env) {
+        env.mkdir("/cloaked");
+        std::int64_t f = env.open("/cloaked/u", os::openCreate |
+                                                    os::openRead |
+                                                    os::openWrite);
+        env.writeAll(f, "first life");
+        env.close(f);
+        if (env.unlink("/cloaked/u") != 0)
+            return 1;
+        // Recreate at the same path: must start fresh, not trip over
+        // stale sealed metadata.
+        f = env.open("/cloaked/u", os::openCreate | os::openRead |
+                                       os::openWrite);
+        if (f < 0)
+            return 2;
+        env.writeAll(f, "second life");
+        env.lseek(f, 0, os::seekSet);
+        std::string s = env.readSome(f, 32);
+        env.close(f);
+        return s == "second life" ? 0 : 3;
+    });
+    EXPECT_EQ(r.status, 0) << r.killReason;
+}
+
+TEST(ShimEmulated, AtRestCiphertextTamperDetected)
+{
+    // Tamper with the *disk image* of a protected file between two
+    // processes: the next reader must be killed, not fed junk.
+    System sys(cloakedConfig());
+    // One program (one identity), two phases.
+    sys.addProgram("atrest", os::Program{[](Env& env) {
+        if (!env.args().empty() && env.args()[0] == "write") {
+            env.mkdir("/cloaked");
+            std::int64_t f = env.open("/cloaked/at-rest",
+                                      os::openCreate | os::openWrite);
+            if (f < 0)
+                return 1;
+            env.writeAll(f, "valuable data at rest");
+            env.close(f);
+            return 0;
+        }
+        std::int64_t f = env.open("/cloaked/at-rest", os::openRead);
+        if (f < 0)
+            return 2;
+        env.readSome(f, 32); // must die here
+        return 3;
+    }, true, 64});
+
+    ASSERT_EQ(sys.runProgram("atrest", {"write"}).status, 0);
+    // Flip one ciphertext byte on "disk" and drop the page cache
+    // (models a reboot / eviction between the two processes — with the
+    // cache warm the tamper would be shadowed by the cached pages).
+    auto& vfs = sys.kernel().vfs();
+    std::int64_t ino_id = vfs.lookup("/cloaked/at-rest");
+    ASSERT_GT(ino_id, 0);
+    os::Inode& ino = vfs.inode(static_cast<os::InodeId>(ino_id));
+    ASSERT_FALSE(ino.diskData.empty());
+    ino.diskData[5] ^= 0x01;
+    for (auto& [idx, entry] : ino.cache) {
+        ASSERT_EQ(entry.mapCount, 0u);
+        sys.kernel().frames().unref(entry.gpa);
+    }
+    ino.cache.clear();
+
+    auto r = sys.runProgram("atrest", {"read"});
+    EXPECT_TRUE(r.killed) << "status " << r.status;
+    EXPECT_NE(r.killReason.find("cloak violation"), std::string::npos);
+}
+
+TEST(ShimEmulated, SparseWriteAfterSeekPastEof)
+{
+    System sys(cloakedConfig());
+    auto r = runCloaked(sys, [](Env& env) {
+        env.mkdir("/cloaked");
+        std::int64_t f = env.open("/cloaked/sparse",
+                                  os::openCreate | os::openRead |
+                                      os::openWrite);
+        env.lseek(f, 2 * pageSize + 100, os::seekSet);
+        env.writeAll(f, "tail");
+        os::StatBuf sb{};
+        env.fstat(f, sb);
+        if (sb.size != 2 * pageSize + 104)
+            return 1;
+        // The hole reads back as zero.
+        env.lseek(f, pageSize, os::seekSet);
+        GuestVA b = env.allocPages(1);
+        env.read(f, b, 8);
+        if (env.load64(b) != 0)
+            return 2;
+        env.lseek(f, 2 * pageSize + 100, os::seekSet);
+        std::string s = env.readSome(f, 8);
+        env.close(f);
+        return s == "tail" ? 0 : 3;
+    });
+    EXPECT_EQ(r.status, 0) << r.killReason;
+}
+
+TEST(ShimEmulated, OpenMissingProtectedFileFails)
+{
+    System sys(cloakedConfig());
+    auto r = runCloaked(sys, [](Env& env) {
+        env.mkdir("/cloaked");
+        return env.open("/cloaked/nothing", os::openRead) ==
+                       -os::errNoEnt
+                   ? 0
+                   : 1;
+    });
+    EXPECT_EQ(r.status, 0) << r.killReason;
+}
+
+TEST(ShimEmulated, TwoProtectedFilesIndependent)
+{
+    System sys(cloakedConfig());
+    auto r = runCloaked(sys, [](Env& env) {
+        env.mkdir("/cloaked");
+        std::int64_t a = env.open("/cloaked/a", os::openCreate |
+                                                    os::openRead |
+                                                    os::openWrite);
+        std::int64_t b = env.open("/cloaked/b", os::openCreate |
+                                                    os::openRead |
+                                                    os::openWrite);
+        env.writeAll(a, "AAAA");
+        env.writeAll(b, "BBBBBBBB");
+        env.lseek(a, 0, os::seekSet);
+        env.lseek(b, 0, os::seekSet);
+        std::string sa = env.readSome(a, 16);
+        std::string sb = env.readSome(b, 16);
+        env.close(a);
+        env.close(b);
+        return sa == "AAAA" && sb == "BBBBBBBB" ? 0 : 1;
+    });
+    EXPECT_EQ(r.status, 0) << r.killReason;
+}
+
+TEST(ShimEmulated, DupOfProtectedFdSharesShimState)
+{
+    // dup() of a protected fd is pass-through; the duplicate is served
+    // by the kernel as a regular descriptor while the original stays
+    // emulated. Both must close cleanly.
+    System sys(cloakedConfig());
+    auto r = runCloaked(sys, [](Env& env) {
+        env.mkdir("/cloaked");
+        std::int64_t f = env.open("/cloaked/d", os::openCreate |
+                                                    os::openRead |
+                                                    os::openWrite);
+        env.writeAll(f, "x");
+        std::int64_t d = env.dup(static_cast<std::uint64_t>(f));
+        if (d < 0)
+            return 1;
+        if (env.close(static_cast<std::uint64_t>(d)) != 0)
+            return 2;
+        env.lseek(f, 0, os::seekSet);
+        std::string s = env.readSome(f, 4);
+        if (env.close(static_cast<std::uint64_t>(f)) != 0)
+            return 3;
+        return s == "x" ? 0 : 4;
+    });
+    EXPECT_EQ(r.status, 0) << r.killReason;
+}
+
+TEST(ShimPassthrough, ClockAndSleepAndYield)
+{
+    System sys(cloakedConfig());
+    auto r = runCloaked(sys, [](Env& env) {
+        Cycles c0 = env.clock();
+        env.sleep(5000);
+        Cycles c1 = env.clock();
+        if (c1 - c0 < 5000)
+            return 1;
+        env.yield();
+        return 0;
+    });
+    EXPECT_EQ(r.status, 0) << r.killReason;
+}
+
+TEST(ShimStats, AdaptationClassesCounted)
+{
+    System sys(cloakedConfig());
+    auto r = runCloaked(sys, [](Env& env) {
+        env.mkdir("/cloaked");
+        std::int64_t p = env.open("/cloaked/f", os::openCreate |
+                                                    os::openRead |
+                                                    os::openWrite);
+        env.writeAll(p, "emulated");
+        env.lseek(p, 0, os::seekSet);
+        env.readSome(p, 8);
+        env.close(p);
+        std::int64_t u = env.open("/plain", os::openCreate |
+                                                os::openRead |
+                                                os::openWrite);
+        env.writeAll(u, "marshalled");
+        env.close(u);
+        return 0;
+    });
+    ASSERT_EQ(r.status, 0) << r.killReason;
+    auto& stats = sys.cloak()->stats();
+    EXPECT_GT(stats.value("shim_emulated_writes"), 0u);
+    EXPECT_GT(stats.value("shim_emulated_reads"), 0u);
+    EXPECT_GT(stats.value("shim_marshalled_writes"), 0u);
+    EXPECT_GT(stats.value("shim_protected_opens"), 0u);
+    EXPECT_GT(stats.value("shim_protected_closes"), 0u);
+}
+
+} // namespace
+} // namespace osh

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Unit tests for the simulated machine: memory bounds/round trips,
+ * cost-model accounting, machine configuration.
+ */
+
+#include "sim/machine.hh"
+
+#include <gtest/gtest.h>
+
+namespace osh::sim
+{
+namespace
+{
+
+TEST(MachineMemory, ReadWriteRoundTrip)
+{
+    MachineMemory mem(4);
+    mem.write64(0x100, 0xdeadbeefcafebabeull);
+    EXPECT_EQ(mem.read64(0x100), 0xdeadbeefcafebabeull);
+    mem.write8(0x0, 0x42);
+    EXPECT_EQ(mem.read8(0x0), 0x42);
+    mem.write16(0x10, 0x1234);
+    EXPECT_EQ(mem.read16(0x10), 0x1234);
+    mem.write32(0x20, 0xabcdef01);
+    EXPECT_EQ(mem.read32(0x20), 0xabcdef01u);
+}
+
+TEST(MachineMemory, SpanReadWrite)
+{
+    MachineMemory mem(2);
+    std::vector<std::uint8_t> data = {1, 2, 3, 4, 5};
+    mem.write(100, data);
+    std::vector<std::uint8_t> out(5);
+    mem.read(100, out);
+    EXPECT_EQ(out, data);
+}
+
+TEST(MachineMemory, CrossPageAccess)
+{
+    MachineMemory mem(2);
+    std::vector<std::uint8_t> data(100, 0x5a);
+    mem.write(pageSize - 50, data);
+    std::vector<std::uint8_t> out(100);
+    mem.read(pageSize - 50, out);
+    EXPECT_EQ(out, data);
+}
+
+TEST(MachineMemoryDeath, OutOfRangePanics)
+{
+    MachineMemory mem(1);
+    EXPECT_DEATH(mem.read8(pageSize), "out of range");
+    EXPECT_DEATH(mem.write64(pageSize - 4, 0), "out of range");
+}
+
+TEST(MachineMemory, FrameViewAndZero)
+{
+    MachineMemory mem(2);
+    auto frame = mem.framePlain(pageSize);
+    EXPECT_EQ(frame.size(), pageSize);
+    frame[0] = 0xff;
+    frame[4095] = 0xee;
+    EXPECT_EQ(mem.read8(pageSize), 0xff);
+    EXPECT_EQ(mem.read8(2 * pageSize - 1), 0xee);
+    mem.zeroFrame(pageSize);
+    EXPECT_EQ(mem.read8(pageSize), 0);
+    EXPECT_EQ(mem.read8(2 * pageSize - 1), 0);
+}
+
+TEST(MachineMemoryDeath, UnalignedFramePanics)
+{
+    MachineMemory mem(2);
+    EXPECT_DEATH(mem.framePlain(0x10), "page aligned");
+}
+
+TEST(CostModel, ChargesAccumulate)
+{
+    CostModel cm;
+    EXPECT_EQ(cm.cycles(), 0u);
+    cm.charge(100);
+    cm.charge(50, "vm_exit");
+    EXPECT_EQ(cm.cycles(), 150u);
+    EXPECT_EQ(cm.stats().value("vm_exit"), 1u);
+    cm.resetCycles();
+    EXPECT_EQ(cm.cycles(), 0u);
+    // Stats survive a cycle reset.
+    EXPECT_EQ(cm.stats().value("vm_exit"), 1u);
+}
+
+TEST(CostModel, ParamsOverridable)
+{
+    CostParams p;
+    p.vmExit = 1000;
+    CostModel cm(p);
+    EXPECT_EQ(cm.params().vmExit, 1000u);
+    cm.params().vmExit = 5;
+    EXPECT_EQ(cm.params().vmExit, 5u);
+}
+
+TEST(Machine, ConfigApplied)
+{
+    MachineConfig cfg;
+    cfg.numFrames = 128;
+    cfg.seed = 99;
+    cfg.costs.memAccess = 2;
+    Machine m(cfg);
+    EXPECT_EQ(m.memory().numFrames(), 128u);
+    EXPECT_EQ(m.memory().sizeBytes(), 128 * pageSize);
+    EXPECT_EQ(m.cost().params().memAccess, 2u);
+    // Same seed gives the same rng stream as a raw Rng.
+    Rng ref(99);
+    EXPECT_EQ(m.rng().next64(), ref.next64());
+}
+
+TEST(Machine, DefaultsAreSane)
+{
+    Machine m;
+    EXPECT_GT(m.memory().numFrames(), 0u);
+    EXPECT_EQ(m.cost().cycles(), 0u);
+}
+
+} // namespace
+} // namespace osh::sim
