@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a1_cleanopt.dir/bench_a1_cleanopt.cc.o"
+  "CMakeFiles/bench_a1_cleanopt.dir/bench_a1_cleanopt.cc.o.d"
+  "bench_a1_cleanopt"
+  "bench_a1_cleanopt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a1_cleanopt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f1_compute.dir/bench_f1_compute.cc.o"
+  "CMakeFiles/bench_f1_compute.dir/bench_f1_compute.cc.o.d"
+  "bench_f1_compute"
+  "bench_f1_compute.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f1_compute.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

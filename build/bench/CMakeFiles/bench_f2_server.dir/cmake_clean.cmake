@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f2_server.dir/bench_f2_server.cc.o"
+  "CMakeFiles/bench_f2_server.dir/bench_f2_server.cc.o.d"
+  "bench_f2_server"
+  "bench_f2_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f2_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

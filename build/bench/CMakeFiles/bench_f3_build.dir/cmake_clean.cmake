@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f3_build.dir/bench_f3_build.cc.o"
+  "CMakeFiles/bench_f3_build.dir/bench_f3_build.cc.o.d"
+  "bench_f3_build"
+  "bench_f3_build.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f3_build.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

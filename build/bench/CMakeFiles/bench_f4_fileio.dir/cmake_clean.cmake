@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f4_fileio.dir/bench_f4_fileio.cc.o"
+  "CMakeFiles/bench_f4_fileio.dir/bench_f4_fileio.cc.o.d"
+  "bench_f4_fileio"
+  "bench_f4_fileio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f4_fileio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

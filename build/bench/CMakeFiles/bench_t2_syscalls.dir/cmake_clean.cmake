@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_t2_syscalls.dir/bench_t2_syscalls.cc.o"
+  "CMakeFiles/bench_t2_syscalls.dir/bench_t2_syscalls.cc.o.d"
+  "bench_t2_syscalls"
+  "bench_t2_syscalls.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_t2_syscalls.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/malicious_os.dir/malicious_os.cc.o"
+  "CMakeFiles/malicious_os.dir/malicious_os.cc.o.d"
+  "malicious_os"
+  "malicious_os.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/malicious_os.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

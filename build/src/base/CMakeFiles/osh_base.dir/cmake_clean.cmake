@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/osh_base.dir/logging.cc.o"
+  "CMakeFiles/osh_base.dir/logging.cc.o.d"
+  "CMakeFiles/osh_base.dir/rng.cc.o"
+  "CMakeFiles/osh_base.dir/rng.cc.o.d"
+  "CMakeFiles/osh_base.dir/stats.cc.o"
+  "CMakeFiles/osh_base.dir/stats.cc.o.d"
+  "libosh_base.a"
+  "libosh_base.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/osh_base.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

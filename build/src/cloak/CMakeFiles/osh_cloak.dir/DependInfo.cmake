@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cloak/engine.cc" "src/cloak/CMakeFiles/osh_cloak.dir/engine.cc.o" "gcc" "src/cloak/CMakeFiles/osh_cloak.dir/engine.cc.o.d"
+  "/root/repo/src/cloak/metadata.cc" "src/cloak/CMakeFiles/osh_cloak.dir/metadata.cc.o" "gcc" "src/cloak/CMakeFiles/osh_cloak.dir/metadata.cc.o.d"
+  "/root/repo/src/cloak/runtime.cc" "src/cloak/CMakeFiles/osh_cloak.dir/runtime.cc.o" "gcc" "src/cloak/CMakeFiles/osh_cloak.dir/runtime.cc.o.d"
+  "/root/repo/src/cloak/shim.cc" "src/cloak/CMakeFiles/osh_cloak.dir/shim.cc.o" "gcc" "src/cloak/CMakeFiles/osh_cloak.dir/shim.cc.o.d"
+  "/root/repo/src/cloak/transfer.cc" "src/cloak/CMakeFiles/osh_cloak.dir/transfer.cc.o" "gcc" "src/cloak/CMakeFiles/osh_cloak.dir/transfer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/osh_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/osh_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/osh_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/vmm/CMakeFiles/osh_vmm.dir/DependInfo.cmake"
+  "/root/repo/build/src/os/CMakeFiles/osh_os.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/osh_cloak.dir/engine.cc.o"
+  "CMakeFiles/osh_cloak.dir/engine.cc.o.d"
+  "CMakeFiles/osh_cloak.dir/metadata.cc.o"
+  "CMakeFiles/osh_cloak.dir/metadata.cc.o.d"
+  "CMakeFiles/osh_cloak.dir/runtime.cc.o"
+  "CMakeFiles/osh_cloak.dir/runtime.cc.o.d"
+  "CMakeFiles/osh_cloak.dir/shim.cc.o"
+  "CMakeFiles/osh_cloak.dir/shim.cc.o.d"
+  "CMakeFiles/osh_cloak.dir/transfer.cc.o"
+  "CMakeFiles/osh_cloak.dir/transfer.cc.o.d"
+  "libosh_cloak.a"
+  "libosh_cloak.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/osh_cloak.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/osh_crypto.dir/aes.cc.o"
+  "CMakeFiles/osh_crypto.dir/aes.cc.o.d"
+  "CMakeFiles/osh_crypto.dir/ctr.cc.o"
+  "CMakeFiles/osh_crypto.dir/ctr.cc.o.d"
+  "CMakeFiles/osh_crypto.dir/hmac.cc.o"
+  "CMakeFiles/osh_crypto.dir/hmac.cc.o.d"
+  "CMakeFiles/osh_crypto.dir/keys.cc.o"
+  "CMakeFiles/osh_crypto.dir/keys.cc.o.d"
+  "CMakeFiles/osh_crypto.dir/sha256.cc.o"
+  "CMakeFiles/osh_crypto.dir/sha256.cc.o.d"
+  "libosh_crypto.a"
+  "libosh_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/osh_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

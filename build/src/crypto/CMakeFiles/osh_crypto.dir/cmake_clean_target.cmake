@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libosh_crypto.a"
+)

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/os/addrspace.cc" "src/os/CMakeFiles/osh_os.dir/addrspace.cc.o" "gcc" "src/os/CMakeFiles/osh_os.dir/addrspace.cc.o.d"
+  "/root/repo/src/os/env.cc" "src/os/CMakeFiles/osh_os.dir/env.cc.o" "gcc" "src/os/CMakeFiles/osh_os.dir/env.cc.o.d"
+  "/root/repo/src/os/frames.cc" "src/os/CMakeFiles/osh_os.dir/frames.cc.o" "gcc" "src/os/CMakeFiles/osh_os.dir/frames.cc.o.d"
+  "/root/repo/src/os/kernel.cc" "src/os/CMakeFiles/osh_os.dir/kernel.cc.o" "gcc" "src/os/CMakeFiles/osh_os.dir/kernel.cc.o.d"
+  "/root/repo/src/os/kernel_syscalls.cc" "src/os/CMakeFiles/osh_os.dir/kernel_syscalls.cc.o" "gcc" "src/os/CMakeFiles/osh_os.dir/kernel_syscalls.cc.o.d"
+  "/root/repo/src/os/swap.cc" "src/os/CMakeFiles/osh_os.dir/swap.cc.o" "gcc" "src/os/CMakeFiles/osh_os.dir/swap.cc.o.d"
+  "/root/repo/src/os/thread.cc" "src/os/CMakeFiles/osh_os.dir/thread.cc.o" "gcc" "src/os/CMakeFiles/osh_os.dir/thread.cc.o.d"
+  "/root/repo/src/os/vfs.cc" "src/os/CMakeFiles/osh_os.dir/vfs.cc.o" "gcc" "src/os/CMakeFiles/osh_os.dir/vfs.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/osh_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/osh_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/vmm/CMakeFiles/osh_vmm.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

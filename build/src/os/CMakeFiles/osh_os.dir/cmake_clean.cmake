@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/osh_os.dir/addrspace.cc.o"
+  "CMakeFiles/osh_os.dir/addrspace.cc.o.d"
+  "CMakeFiles/osh_os.dir/env.cc.o"
+  "CMakeFiles/osh_os.dir/env.cc.o.d"
+  "CMakeFiles/osh_os.dir/frames.cc.o"
+  "CMakeFiles/osh_os.dir/frames.cc.o.d"
+  "CMakeFiles/osh_os.dir/kernel.cc.o"
+  "CMakeFiles/osh_os.dir/kernel.cc.o.d"
+  "CMakeFiles/osh_os.dir/kernel_syscalls.cc.o"
+  "CMakeFiles/osh_os.dir/kernel_syscalls.cc.o.d"
+  "CMakeFiles/osh_os.dir/swap.cc.o"
+  "CMakeFiles/osh_os.dir/swap.cc.o.d"
+  "CMakeFiles/osh_os.dir/thread.cc.o"
+  "CMakeFiles/osh_os.dir/thread.cc.o.d"
+  "CMakeFiles/osh_os.dir/vfs.cc.o"
+  "CMakeFiles/osh_os.dir/vfs.cc.o.d"
+  "libosh_os.a"
+  "libosh_os.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/osh_os.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

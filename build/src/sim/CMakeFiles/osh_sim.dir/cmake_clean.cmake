@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/osh_sim.dir/cost_model.cc.o"
+  "CMakeFiles/osh_sim.dir/cost_model.cc.o.d"
+  "CMakeFiles/osh_sim.dir/machine.cc.o"
+  "CMakeFiles/osh_sim.dir/machine.cc.o.d"
+  "CMakeFiles/osh_sim.dir/memory.cc.o"
+  "CMakeFiles/osh_sim.dir/memory.cc.o.d"
+  "libosh_sim.a"
+  "libosh_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/osh_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libosh_sim.a"
+)

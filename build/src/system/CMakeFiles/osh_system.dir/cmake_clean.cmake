@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/osh_system.dir/system.cc.o"
+  "CMakeFiles/osh_system.dir/system.cc.o.d"
+  "libosh_system.a"
+  "libosh_system.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/osh_system.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vmm/pmap.cc" "src/vmm/CMakeFiles/osh_vmm.dir/pmap.cc.o" "gcc" "src/vmm/CMakeFiles/osh_vmm.dir/pmap.cc.o.d"
+  "/root/repo/src/vmm/shadow.cc" "src/vmm/CMakeFiles/osh_vmm.dir/shadow.cc.o" "gcc" "src/vmm/CMakeFiles/osh_vmm.dir/shadow.cc.o.d"
+  "/root/repo/src/vmm/tlb.cc" "src/vmm/CMakeFiles/osh_vmm.dir/tlb.cc.o" "gcc" "src/vmm/CMakeFiles/osh_vmm.dir/tlb.cc.o.d"
+  "/root/repo/src/vmm/vcpu.cc" "src/vmm/CMakeFiles/osh_vmm.dir/vcpu.cc.o" "gcc" "src/vmm/CMakeFiles/osh_vmm.dir/vcpu.cc.o.d"
+  "/root/repo/src/vmm/vmm.cc" "src/vmm/CMakeFiles/osh_vmm.dir/vmm.cc.o" "gcc" "src/vmm/CMakeFiles/osh_vmm.dir/vmm.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/osh_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/osh_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/osh_vmm.dir/pmap.cc.o"
+  "CMakeFiles/osh_vmm.dir/pmap.cc.o.d"
+  "CMakeFiles/osh_vmm.dir/shadow.cc.o"
+  "CMakeFiles/osh_vmm.dir/shadow.cc.o.d"
+  "CMakeFiles/osh_vmm.dir/tlb.cc.o"
+  "CMakeFiles/osh_vmm.dir/tlb.cc.o.d"
+  "CMakeFiles/osh_vmm.dir/vcpu.cc.o"
+  "CMakeFiles/osh_vmm.dir/vcpu.cc.o.d"
+  "CMakeFiles/osh_vmm.dir/vmm.cc.o"
+  "CMakeFiles/osh_vmm.dir/vmm.cc.o.d"
+  "libosh_vmm.a"
+  "libosh_vmm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/osh_vmm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

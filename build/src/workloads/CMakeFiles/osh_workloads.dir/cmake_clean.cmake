@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/osh_workloads.dir/workloads.cc.o"
+  "CMakeFiles/osh_workloads.dir/workloads.cc.o.d"
+  "libosh_workloads.a"
+  "libosh_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/osh_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

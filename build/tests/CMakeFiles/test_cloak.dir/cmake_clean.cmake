@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cloak.dir/test_cloak.cc.o"
+  "CMakeFiles/test_cloak.dir/test_cloak.cc.o.d"
+  "test_cloak"
+  "test_cloak.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cloak.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vmm.dir/test_vmm.cc.o"
+  "CMakeFiles/test_vmm.dir/test_vmm.cc.o.d"
+  "test_vmm"
+  "test_vmm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vmm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(test_base "/root/repo/build/tests/test_base")
+set_tests_properties(test_base PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;10;osh_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_crypto "/root/repo/build/tests/test_crypto")
+set_tests_properties(test_crypto PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;11;osh_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_sim "/root/repo/build/tests/test_sim")
+set_tests_properties(test_sim PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;12;osh_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_vmm "/root/repo/build/tests/test_vmm")
+set_tests_properties(test_vmm PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;13;osh_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_os "/root/repo/build/tests/test_os")
+set_tests_properties(test_os PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;14;osh_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_engine "/root/repo/build/tests/test_engine")
+set_tests_properties(test_engine PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;15;osh_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_metadata "/root/repo/build/tests/test_metadata")
+set_tests_properties(test_metadata PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;16;osh_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_cloak "/root/repo/build/tests/test_cloak")
+set_tests_properties(test_cloak PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;17;osh_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_os_units "/root/repo/build/tests/test_os_units")
+set_tests_properties(test_os_units PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;18;osh_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_properties "/root/repo/build/tests/test_properties")
+set_tests_properties(test_properties PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;19;osh_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_shim "/root/repo/build/tests/test_shim")
+set_tests_properties(test_shim PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;20;osh_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_integration "/root/repo/build/tests/test_integration")
+set_tests_properties(test_integration PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;21;osh_add_test;/root/repo/tests/CMakeLists.txt;0;")
