@@ -32,6 +32,7 @@ run(bool clean_opt, std::uint64_t requests)
     cfg.cloakingEnabled = true;
     cfg.guestFrames = 4096;
     cfg.cleanOptimization = clean_opt;
+    cfg.trace.enabled = bench::tracingRequested();
     system::System sys(cfg);
     workloads::registerAll(sys);
     auto r = sys.runProgram("wl.fileserver",
@@ -39,6 +40,10 @@ run(bool clean_opt, std::uint64_t requests)
                              "1"});
     if (r.status != 0)
         osh_fatal("fileserver failed: %s", r.killReason.c_str());
+    bench::reportPhase(sys,
+                       std::string(clean_opt ? "a1_cleanopt_"
+                                             : "a1_nocleanopt_") +
+                           std::to_string(requests));
     return {sys.cycles(), sys.cloak()->stats().value("page_encrypts"),
             sys.cloak()->stats().value("clean_reencrypts")};
 }

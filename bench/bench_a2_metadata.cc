@@ -27,11 +27,13 @@ main()
         cfg.cloakingEnabled = true;
         cfg.guestFrames = 224;
         cfg.metadataCacheEntries = capacity;
+        cfg.trace.enabled = bench::tracingRequested();
         system::System sys(cfg);
         workloads::registerAll(sys);
         auto r = sys.runProgram("wl.memstress", {"256", "3"});
         if (r.status != 0)
             osh_fatal("memstress failed: %s", r.killReason.c_str());
+        bench::reportPhase(sys, "a2_cap" + std::to_string(capacity));
 
         std::uint64_t hits =
             sys.machine().cost().stats().value("metadata_hit");

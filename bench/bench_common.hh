@@ -14,15 +14,33 @@
 
 #include "os/env.hh"
 #include "system/system.hh"
+#include "trace/export.hh"
 #include "workloads/workloads.hh"
 
 #include <cstdio>
+#include <cstdlib>
 #include <memory>
 #include <string>
 #include <vector>
 
 namespace osh::bench
 {
+
+/**
+ * True when the OSH_TRACE environment variable asks for tracing.
+ * Always false when tracing is compiled out (-DOSH_TRACE=OFF): the
+ * instrumentation sites are gone, so a report would be empty.
+ */
+inline bool
+tracingRequested()
+{
+#if OSH_TRACE_ENABLED
+    const char* v = std::getenv("OSH_TRACE");
+    return v != nullptr && v[0] != '\0' && v[0] != '0';
+#else
+    return false;
+#endif
+}
 
 /** Build a system with workloads registered. */
 inline std::unique_ptr<system::System>
@@ -35,9 +53,32 @@ makeSystem(bool cloaked, std::uint64_t frames = 4096,
     cfg.guestFrames = frames;
     cfg.seed = seed;
     cfg.preemptOpsPerTick = preempt_ops;
+    cfg.trace.enabled = tracingRequested();
     auto sys = std::make_unique<system::System>(cfg);
     workloads::registerAll(*sys);
     return sys;
+}
+
+/**
+ * Dump tracing artifacts for one bench phase: a plain-text metrics
+ * report on stdout and a Chrome trace JSON (`<phase>.trace.json`,
+ * loadable in Perfetto / chrome://tracing). No-op unless the bench ran
+ * with OSH_TRACE=1. Tracing never charges simulated cycles, so the
+ * numbers a bench prints are identical with and without it.
+ */
+inline void
+reportPhase(system::System& sys, const std::string& phase)
+{
+    auto& tracer = sys.tracer();
+    if (!tracer.enabled())
+        return;
+    std::fputs(trace::metricsReport(tracer.metrics(), phase).c_str(),
+               stdout);
+    std::string path = phase + ".trace.json";
+    if (trace::writeChromeJson(tracer.buffer(), path))
+        std::printf("[trace] wrote %s (%llu events)\n\n", path.c_str(),
+                    static_cast<unsigned long long>(
+                        tracer.buffer().size()));
 }
 
 /** Run one workload and return total simulated cycles (asserts ok). */
@@ -52,6 +93,7 @@ runCycles(bool cloaked, const std::string& program,
         osh_fatal("bench workload %s failed: status=%d %s",
                   program.c_str(), r.status, r.killReason.c_str());
     }
+    reportPhase(*sys, program + (cloaked ? ".cloaked" : ".native"));
     return sys->cycles();
 }
 

@@ -100,6 +100,11 @@ bandwidth(bool cloaked, bool protected_file, std::uint64_t buf_bytes)
     if (r.status != 0)
         osh_fatal("reader failed: %d %s", r.status,
                   r.killReason.c_str());
+    bench::reportPhase(*sys,
+                       std::string("f4_") +
+                           (cloaked ? "cloaked" : "native") +
+                           (protected_file ? "_prot_" : "_plain_") +
+                           std::to_string(buf_bytes));
     std::uint64_t cycles = std::strtoull(
         workloads::readGuestFile(*sys, "/results/fileio").c_str(),
         nullptr, 10);

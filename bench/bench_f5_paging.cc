@@ -29,6 +29,8 @@ main()
             osh_fatal("memstress failed: %s", nr.killReason.c_str());
         Cycles n = nat->cycles();
         std::uint64_t nswaps = nat->kernel().stats().value("swap_ins");
+        bench::reportPhase(*nat,
+                           "f5_native_" + std::to_string(frames));
 
         auto sys = bench::makeSystem(true, frames);
         auto r = sys->runProgram("wl.memstress", argv);
@@ -36,6 +38,8 @@ main()
             osh_fatal("memstress failed: %s", r.killReason.c_str());
         Cycles c = sys->cycles();
         std::uint64_t swaps = sys->kernel().stats().value("swap_ins");
+        bench::reportPhase(*sys,
+                           "f5_cloaked_" + std::to_string(frames));
 
         std::printf("%-14llu %14llu %10llu %14llu %10llu %7.2fx\n",
                     static_cast<unsigned long long>(frames),

@@ -146,6 +146,8 @@ runMicro(bool cloaked)
     auto r = sys->runProgram("mb.micro");
     if (r.status != 0)
         osh_fatal("micro failed: %d %s", r.status, r.killReason.c_str());
+    bench::reportPhase(*sys,
+                       cloaked ? "t2_cloaked" : "t2_native");
 
     std::map<std::string, std::uint64_t> vals;
     std::istringstream in(workloads::readGuestFile(*sys,

@@ -11,8 +11,10 @@
 
 #include "os/env.hh"
 #include "system/system.hh"
+#include "trace/export.hh"
 
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 
 using namespace osh;
@@ -22,6 +24,14 @@ main()
 {
     system::SystemConfig cfg;
     cfg.cloakingEnabled = true;
+    // OSH_TRACE=1 records a timeline + metrics of the run (see
+    // docs/tracing.md); it does not change the simulated cycle counts.
+#if OSH_TRACE_ENABLED
+    const char* trace_env = std::getenv("OSH_TRACE");
+    cfg.trace.enabled =
+        trace_env != nullptr && trace_env[0] != '\0' &&
+        trace_env[0] != '0';
+#endif
     system::System sys(cfg);
 
     const std::string secret = "attack at dawn";
@@ -81,6 +91,14 @@ main()
         std::printf("on-disk bytes (kernel view): %s\n",
                     on_disk == secret ? "PLAINTEXT (BROKEN!)"
                                       : "ciphertext (as intended)");
+    }
+
+    if (sys.tracer().enabled()) {
+        std::printf("%s", trace::metricsReport(sys.tracer().metrics(),
+                                               "quickstart").c_str());
+        if (trace::writeChromeJson(sys.tracer().buffer(),
+                                   "quickstart.trace.json"))
+            std::printf("[trace] wrote quickstart.trace.json\n");
     }
     return r.status;
 }

@@ -97,6 +97,8 @@ CloakEngine::violation(Resource& res, std::uint64_t page_index,
 {
     auditLog_.push_back({res.domain, res.id, page_index, reason});
     stats_.counter("violations").inc();
+    OSH_TRACE_INSTANT(&vmm_.machine().tracer(), trace::Category::Cloak,
+                      "violation", res.domain, 0, res.id, page_index);
     Pid pid = 0;
     if (Domain* d = findDomain(res.domain))
         pid = d->pid;
@@ -120,6 +122,9 @@ CloakEngine::encryptPage(Resource& res, std::uint64_t page_index,
 
     if (meta.state == PageState::PlaintextDirty || !cleanOptimization_ ||
         meta.version == 0) {
+        OSH_TRACE_SCOPE(&vmm_.machine().tracer(),
+                        trace::Category::Cloak, "page_encrypt",
+                        res.domain, 0, res.id, page_index);
         vmm_.machine().rng().fill(meta.iv);
         meta.version++;
         crypto::aesCtrXcryptInPlace(cipher, meta.iv, frame);
@@ -133,6 +138,9 @@ CloakEngine::encryptPage(Resource& res, std::uint64_t page_index,
         // Clean page: deterministic re-encryption under the stored IV
         // reproduces the exact ciphertext the stored hash covers — no
         // hashing, no metadata update.
+        OSH_TRACE_SCOPE(&vmm_.machine().tracer(),
+                        trace::Category::Cloak, "clean_reencrypt",
+                        res.domain, 0, res.id, page_index);
         crypto::aesCtrXcryptInPlace(cipher, meta.iv, frame);
         cost.charge(cost.params().aesPerByte * pageSize +
                     cost.params().cloakFaultFixed,
@@ -150,6 +158,8 @@ void
 CloakEngine::decryptAndVerify(Resource& res, std::uint64_t page_index,
                               PageMeta& meta, Gpa gpa)
 {
+    OSH_TRACE_SCOPE(&vmm_.machine().tracer(), trace::Category::Cloak,
+                    "page_decrypt", res.domain, 0, res.id, page_index);
     auto frame = frameBytes(gpa);
     auto& cost = vmm_.machine().cost();
     cost.charge(cost.params().shaPerByte * (pageSize + 40) +

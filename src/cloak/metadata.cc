@@ -222,6 +222,12 @@ MetadataStore::unseal(std::span<const std::uint8_t> bundle,
         meta.residentGpa = badAddr;
         dst.pages[idx] = meta;
     }
+    // Advance the rollback floor: once a bundle of this version has
+    // been accepted, anything older is a replay — even in a store that
+    // never sealed this file key itself (fresh boot).
+    std::uint64_t& floor_version = sealVersions_[file_key];
+    if (version > floor_version)
+        floor_version = version;
     stats_.counter("unseals").inc();
     return true;
 }

@@ -464,6 +464,10 @@ std::int64_t
 Shim::syscall(os::Env& env, Sys num, const SyscallArgs& args)
 {
     (void)env;
+    OSH_TRACE_SCOPE(&env_.vcpu().vmm().machine().tracer(),
+                    trace::Category::Shim, os::sysName(num), domain_,
+                    env_.thread().pid,
+                    static_cast<std::uint64_t>(num));
     switch (num) {
       case Sys::Open:
         return shimOpen(args);

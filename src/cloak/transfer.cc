@@ -81,6 +81,10 @@ SecureTransfer::aroundSyscall(CloakEngine& engine, DomainId domain,
     GuestVA ctc_va = d->ctcVa;
     vmm::Vmm& vmm = env.vcpu().vmm();
 
+    OSH_TRACE_SCOPE(&vmm.machine().tracer(),
+                    trace::Category::Transfer, "secure_syscall",
+                    domain, d->pid,
+                    static_cast<std::uint64_t>(num));
     vmm.chargeWorldSwitch("cloak_trap_enter");
     saveToCtc(engine, domain, env, ctc_va);
     env.vcpu().regs().scrub(0, os::trampolinePc, os::trampolineSp);
@@ -108,6 +112,9 @@ SecureTransfer::aroundInterrupt(CloakEngine& engine, DomainId domain,
     GuestVA ctc_va = d->ctcVa;
     vmm::Vmm& vmm = env.vcpu().vmm();
 
+    OSH_TRACE_SCOPE(&vmm.machine().tracer(),
+                    trace::Category::Transfer, "secure_interrupt",
+                    domain, d->pid);
     vmm.chargeWorldSwitch("cloak_intr_enter");
     saveToCtc(engine, domain, env, ctc_va);
     env.vcpu().regs().scrub(0, os::trampolinePc, os::trampolineSp);

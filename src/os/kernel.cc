@@ -26,6 +26,8 @@ Kernel::Kernel(vmm::Vmm& vmm, Scheduler& sched, ProgramRegistry& programs)
       swap_(vmm.machine().cost()), stats_("kernel")
 {
     vmm_.setGuestOs(this);
+    swap_.setTracer(&vmm_.machine().tracer());
+    vfs_.setTracer(&vmm_.machine().tracer());
 }
 
 Kernel::~Kernel()
@@ -500,6 +502,8 @@ Kernel::evictOneFrame()
 void
 Kernel::swapOutAnon(Gpa gpa)
 {
+    OSH_TRACE_SCOPE(&vmm_.machine().tracer(), trace::Category::Swap,
+                    "swap_out", systemDomain, 0, gpa);
     auto mit = anonMappers_.find(gpa);
     osh_assert(mit != anonMappers_.end() && mit->second.size() == 1,
                "swapOutAnon of shared/unmapped frame");
@@ -542,6 +546,8 @@ Kernel::swapOutAnon(Gpa gpa)
 void
 Kernel::swapIn(Process& proc, GuestVA va_page, Pte& pte, const Vma& vma)
 {
+    OSH_TRACE_SCOPE(&vmm_.machine().tracer(), trace::Category::Swap,
+                    "swap_in", systemDomain, proc.pid, va_page);
     osh_assert(pte.swapped, "swapIn of non-swapped page");
     SwapSlot slot = pte.slot;
 
@@ -594,6 +600,8 @@ void
 Kernel::writebackPage(Inode& ino, std::uint64_t page_index,
                       bool charge_seek)
 {
+    OSH_TRACE_SCOPE(&vmm_.machine().tracer(), trace::Category::Vfs,
+                    "writeback", systemDomain, 0, ino.id, page_index);
     auto cit = ino.cache.find(page_index);
     osh_assert(cit != ino.cache.end(), "writeback of uncached page");
     std::array<std::uint8_t, pageSize> buf;
@@ -632,6 +640,9 @@ Kernel::ensureCached(InodeId ino_id, std::uint64_t page_index)
     if (cit != ino.cache.end())
         return cit->second;
 
+    OSH_TRACE_SCOPE(&vmm_.machine().tracer(), trace::Category::Vfs,
+                    "page_cache_fill", systemDomain, 0, ino_id,
+                    page_index);
     Gpa gpa = allocFrameOrEvict(FrameUse::PageCache);
     auto& cost = vmm_.machine().cost();
 

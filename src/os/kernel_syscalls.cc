@@ -25,6 +25,10 @@ Kernel::syscallEntry(Thread& t)
     checkKillRequested(t);
 
     auto& regs = t.vcpu.regs();
+    OSH_TRACE_SCOPE(&vmm_.machine().tracer(), trace::Category::Syscall,
+                    sysName(static_cast<Sys>(regs.gpr[0])),
+                    t.vcpu.context().view, t.pid, regs.gpr[0],
+                    regs.gpr[1]);
     if (malice_.recordTrapFrames)
         malice_.trapFrames.push_back(regs);
     if (malice_.snoopUserMemory && malice_.snoopVa != 0) {

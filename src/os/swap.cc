@@ -46,6 +46,8 @@ SwapDevice::writeSlot(SwapSlot slot, std::span<const std::uint8_t> page)
 {
     osh_assert(slot < slots_.size() && used_[slot], "write to bad slot");
     osh_assert(page.size() == pageSize, "swap I/O is page granular");
+    OSH_TRACE_SCOPE(tracer_, trace::Category::Swap, "slot_write",
+                    systemDomain, 0, slot);
     std::memcpy(slots_[slot].data(), page.data(), pageSize);
     cost_.charge(cost_.params().diskAccess +
                  cost_.params().diskPerByte * pageSize,
@@ -57,6 +59,8 @@ SwapDevice::readSlot(SwapSlot slot, std::span<std::uint8_t> page)
 {
     osh_assert(slot < slots_.size() && used_[slot], "read from bad slot");
     osh_assert(page.size() == pageSize, "swap I/O is page granular");
+    OSH_TRACE_SCOPE(tracer_, trace::Category::Swap, "slot_read",
+                    systemDomain, 0, slot);
     std::memcpy(page.data(), slots_[slot].data(), pageSize);
     cost_.charge(cost_.params().diskAccess +
                  cost_.params().diskPerByte * pageSize,

@@ -15,6 +15,7 @@
 #include "base/stats.hh"
 #include "base/types.hh"
 #include "sim/cost_model.hh"
+#include "trace/trace.hh"
 
 #include <array>
 #include <span>
@@ -55,10 +56,14 @@ class SwapDevice
 
     std::uint64_t slotsInUse() const { return inUse_; }
 
+    /** Attach the machine tracer (the owning kernel wires this). */
+    void setTracer(trace::Tracer* tracer) { tracer_ = tracer; }
+
     StatGroup& stats() { return stats_; }
 
   private:
     sim::CostModel& cost_;
+    trace::Tracer* tracer_ = nullptr;
     std::uint64_t maxSlots_;
     std::vector<std::array<std::uint8_t, pageSize>> slots_;
     std::vector<bool> used_;

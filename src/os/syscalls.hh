@@ -54,6 +54,44 @@ enum class Sys : std::uint64_t
     SigPending = 46,
 };
 
+/** Stable name of a syscall number (tracing, diagnostics). */
+constexpr const char*
+sysName(Sys num)
+{
+    switch (num) {
+      case Sys::Exit: return "exit";
+      case Sys::GetPid: return "getpid";
+      case Sys::GetPpid: return "getppid";
+      case Sys::Yield: return "yield";
+      case Sys::Clock: return "clock";
+      case Sys::Sleep: return "sleep";
+      case Sys::Mmap: return "mmap";
+      case Sys::Munmap: return "munmap";
+      case Sys::Open: return "open";
+      case Sys::Close: return "close";
+      case Sys::Read: return "read";
+      case Sys::Write: return "write";
+      case Sys::Lseek: return "lseek";
+      case Sys::Fstat: return "fstat";
+      case Sys::Unlink: return "unlink";
+      case Sys::Mkdir: return "mkdir";
+      case Sys::ReadDir: return "readdir";
+      case Sys::Ftruncate: return "ftruncate";
+      case Sys::Fsync: return "fsync";
+      case Sys::Rename: return "rename";
+      case Sys::Pipe: return "pipe";
+      case Sys::Dup: return "dup";
+      case Sys::Spawn: return "spawn";
+      case Sys::Fork: return "fork";
+      case Sys::Exec: return "exec";
+      case Sys::WaitPid: return "waitpid";
+      case Sys::Kill: return "kill";
+      case Sys::SigAction: return "sigaction";
+      case Sys::SigPending: return "sigpending";
+    }
+    return "sys_unknown";
+}
+
 /** Error codes (returned negated). */
 enum Err : std::int64_t
 {

@@ -77,6 +77,12 @@ class CostModel
     const CostParams& params() const { return params_; }
     CostParams& params() { return params_; }
 
+    /**
+     * Stable pointer to the cycle accumulator, for the tracer's clock
+     * binding (reads only; valid for the model's lifetime).
+     */
+    const Cycles* cycleCounter() const { return &cycles_; }
+
     StatGroup& stats() { return stats_; }
     const StatGroup& stats() const { return stats_; }
 

@@ -5,8 +5,9 @@ namespace osh::sim
 
 Machine::Machine(const MachineConfig& config)
     : config_(config), memory_(config.numFrames), cost_(config.costs),
-      rng_(config.seed)
+      rng_(config.seed), tracer_(config.trace)
 {
+    tracer_.bindClock(cost_.cycleCounter());
 }
 
 } // namespace osh::sim

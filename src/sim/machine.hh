@@ -14,6 +14,7 @@
 #include "base/types.hh"
 #include "sim/cost_model.hh"
 #include "sim/memory.hh"
+#include "trace/trace.hh"
 
 #include <cstdint>
 
@@ -31,6 +32,9 @@ struct MachineConfig
 
     /** Cycle cost parameters. */
     CostParams costs;
+
+    /** Event tracing / metrics configuration. */
+    trace::TraceConfig trace;
 };
 
 /** A simulated physical machine. */
@@ -48,6 +52,14 @@ class Machine
     /** Machine-level RNG (IV generation etc.); deterministic. */
     Rng& rng() { return rng_; }
 
+    /**
+     * The machine-wide tracing handle. Always a valid object; whether
+     * it records is controlled by MachineConfig::trace.enabled (and
+     * the OSH_TRACE compile switch).
+     */
+    trace::Tracer& tracer() { return tracer_; }
+    const trace::Tracer& tracer() const { return tracer_; }
+
     const MachineConfig& config() const { return config_; }
 
   private:
@@ -55,6 +67,7 @@ class Machine
     MachineMemory memory_;
     CostModel cost_;
     Rng rng_;
+    trace::Tracer tracer_;
 };
 
 } // namespace osh::sim

@@ -18,6 +18,7 @@ machineConfig(const SystemConfig& cfg)
     mc.numFrames = cfg.guestFrames;
     mc.seed = cfg.seed;
     mc.costs = cfg.costs;
+    mc.trace = cfg.trace;
     return mc;
 }
 

@@ -50,6 +50,9 @@ struct SystemConfig
     /** Metadata cache capacity (ablation knob). */
     std::size_t metadataCacheEntries = 1024;
 
+    /** Event tracing / metrics (off by default; never affects cycles). */
+    trace::TraceConfig trace;
+
     /** Clean-plaintext re-encryption optimization (ablation knob). */
     bool cleanOptimization = true;
 
@@ -89,6 +92,7 @@ class System : public os::ProcessHost, public os::EnvRuntime
     os::ProgramRegistry& programs() { return programs_; }
     /** Null when cloaking is disabled (native baseline). */
     cloak::CloakEngine* cloak() { return engine_.get(); }
+    trace::Tracer& tracer() { return machine_.tracer(); }
     const SystemConfig& config() const { return config_; }
 
     /** Register a guest program. */

@@ -1,0 +1,120 @@
+#include "trace/export.hh"
+
+#include "base/logging.hh"
+
+#include <cstdio>
+
+namespace osh::trace
+{
+
+namespace
+{
+
+/** JSON-escape a string (control chars, quotes, backslashes). */
+std::string
+jsonEscape(const char* s)
+{
+    std::string out;
+    for (const char* p = s; *p != '\0'; ++p) {
+        unsigned char c = static_cast<unsigned char>(*p);
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (c < 0x20) {
+                out += formatString("\\u%04x", c);
+            } else {
+                out += static_cast<char>(c);
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+std::string
+toChromeJson(const TraceBuffer& buffer)
+{
+    std::string out = "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[";
+    bool first = true;
+    for (const TraceEvent& ev : buffer.snapshot()) {
+        if (!first)
+            out += ",";
+        first = false;
+        if (ev.isInstant()) {
+            out += formatString(
+                "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"i\","
+                "\"s\":\"t\",\"ts\":%llu,\"pid\":%u,\"tid\":%d,"
+                "\"args\":{\"arg0\":%llu,\"arg1\":%llu}}",
+                jsonEscape(ev.name).c_str(),
+                categoryName(ev.category),
+                static_cast<unsigned long long>(ev.begin), ev.domain,
+                ev.pid, static_cast<unsigned long long>(ev.arg0),
+                static_cast<unsigned long long>(ev.arg1));
+        } else {
+            out += formatString(
+                "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\","
+                "\"ts\":%llu,\"dur\":%llu,\"pid\":%u,\"tid\":%d,"
+                "\"args\":{\"arg0\":%llu,\"arg1\":%llu}}",
+                jsonEscape(ev.name).c_str(),
+                categoryName(ev.category),
+                static_cast<unsigned long long>(ev.begin),
+                static_cast<unsigned long long>(ev.duration()),
+                ev.domain, ev.pid,
+                static_cast<unsigned long long>(ev.arg0),
+                static_cast<unsigned long long>(ev.arg1));
+        }
+    }
+    out += "]}";
+    return out;
+}
+
+bool
+writeChromeJson(const TraceBuffer& buffer, const std::string& path)
+{
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr)
+        return false;
+    std::string json = toChromeJson(buffer);
+    std::size_t wrote = std::fwrite(json.data(), 1, json.size(), f);
+    bool ok = wrote == json.size();
+    ok = std::fclose(f) == 0 && ok;
+    return ok;
+}
+
+std::string
+metricsReport(const MetricsRegistry& metrics, const std::string& title)
+{
+    std::string out;
+    if (!title.empty())
+        out += formatString("--- metrics: %s ---\n", title.c_str());
+
+    if (!metrics.counters().empty()) {
+        out += "counters:\n";
+        for (const auto& [key, value] : metrics.counters()) {
+            out += formatString(
+                "  %-10s %-28s %llu\n",
+                categoryName(static_cast<Category>(key.first)),
+                key.second.c_str(),
+                static_cast<unsigned long long>(value));
+        }
+    }
+    if (!metrics.histograms().empty()) {
+        out += "latency histograms (sim cycles):\n";
+        for (const auto& [key, hist] : metrics.histograms()) {
+            out += formatString(
+                "  %-10s %-28s %s\n",
+                categoryName(static_cast<Category>(key.first)),
+                key.second.c_str(), hist.summary().c_str());
+        }
+    }
+    if (metrics.counters().empty() && metrics.histograms().empty())
+        out += "(no metrics recorded)\n";
+    return out;
+}
+
+} // namespace osh::trace

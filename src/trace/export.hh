@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Trace and metrics exporters.
+ *
+ * Two formats:
+ *   - Chrome trace-event JSON: load the file in chrome://tracing or
+ *     https://ui.perfetto.dev to see the spans on a timeline. Trace
+ *     "pid" lanes are protection domains, "tid" lanes are guest pids,
+ *     timestamps are simulated cycles.
+ *   - Plain-text metrics report: counters and latency histograms
+ *     (count/sum/mean/p50/p95/p99/max) grouped by category.
+ */
+
+#ifndef OSH_TRACE_EXPORT_HH
+#define OSH_TRACE_EXPORT_HH
+
+#include "trace/trace.hh"
+
+#include <string>
+
+namespace osh::trace
+{
+
+/** Render the ring's live events as Chrome trace-event JSON. */
+std::string toChromeJson(const TraceBuffer& buffer);
+
+/** Write toChromeJson() to @p path; false on I/O failure. */
+bool writeChromeJson(const TraceBuffer& buffer, const std::string& path);
+
+/**
+ * Render a plain-text metrics report. @p title heads the report (pass
+ * the bench phase, e.g. "bench_t2_syscalls cloaked").
+ */
+std::string metricsReport(const MetricsRegistry& metrics,
+                          const std::string& title = "");
+
+} // namespace osh::trace
+
+#endif // OSH_TRACE_EXPORT_HH

@@ -1,0 +1,123 @@
+#include "trace/metrics.hh"
+
+#include "base/logging.hh"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+namespace osh::trace
+{
+
+void
+LatencyHistogram::record(std::uint64_t value)
+{
+    buckets_[std::bit_width(value)]++;
+    count_++;
+    sum_ += value;
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+}
+
+std::uint64_t
+LatencyHistogram::bucketLow(std::size_t i)
+{
+    return i == 0 ? 0 : std::uint64_t{1} << (i - 1);
+}
+
+std::uint64_t
+LatencyHistogram::bucketHigh(std::size_t i)
+{
+    if (i == 0)
+        return 0;
+    if (i >= 64)
+        return ~std::uint64_t{0};
+    return (std::uint64_t{1} << i) - 1;
+}
+
+std::uint64_t
+LatencyHistogram::percentile(double p) const
+{
+    if (count_ == 0)
+        return 0;
+    p = std::clamp(p, 0.0, 100.0);
+    std::uint64_t rank = static_cast<std::uint64_t>(
+        std::ceil(p / 100.0 * static_cast<double>(count_)));
+    rank = std::clamp<std::uint64_t>(rank, 1, count_);
+
+    std::uint64_t cum = 0;
+    for (std::size_t i = 0; i < numBuckets; ++i) {
+        if (buckets_[i] == 0)
+            continue;
+        if (cum + buckets_[i] >= rank) {
+            std::uint64_t lo = bucketLow(i);
+            std::uint64_t hi = bucketHigh(i);
+            std::uint64_t within = rank - cum; // 1..buckets_[i]
+            std::uint64_t est = lo + static_cast<std::uint64_t>(
+                static_cast<double>(hi - lo) *
+                static_cast<double>(within) /
+                static_cast<double>(buckets_[i]));
+            return std::clamp(est, min(), max_);
+        }
+        cum += buckets_[i];
+    }
+    return max_;
+}
+
+void
+LatencyHistogram::reset()
+{
+    *this = LatencyHistogram{};
+}
+
+std::string
+LatencyHistogram::summary() const
+{
+    return formatString(
+        "count=%llu sum=%llu mean=%llu p50=%llu p95=%llu p99=%llu "
+        "max=%llu",
+        static_cast<unsigned long long>(count_),
+        static_cast<unsigned long long>(sum_),
+        static_cast<unsigned long long>(mean()),
+        static_cast<unsigned long long>(percentile(50)),
+        static_cast<unsigned long long>(percentile(95)),
+        static_cast<unsigned long long>(percentile(99)),
+        static_cast<unsigned long long>(max_));
+}
+
+std::uint64_t&
+MetricsRegistry::counter(std::uint8_t category, const std::string& name)
+{
+    return counters_[{category, name}];
+}
+
+LatencyHistogram&
+MetricsRegistry::histogram(std::uint8_t category, const std::string& name)
+{
+    return histograms_[{category, name}];
+}
+
+std::uint64_t
+MetricsRegistry::counterValue(std::uint8_t category,
+                              const std::string& name) const
+{
+    auto it = counters_.find({category, name});
+    return it == counters_.end() ? 0 : it->second;
+}
+
+const LatencyHistogram*
+MetricsRegistry::findHistogram(std::uint8_t category,
+                               const std::string& name) const
+{
+    auto it = histograms_.find({category, name});
+    return it == histograms_.end() ? nullptr : &it->second;
+}
+
+void
+MetricsRegistry::reset()
+{
+    counters_.clear();
+    histograms_.clear();
+}
+
+} // namespace osh::trace

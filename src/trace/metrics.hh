@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Aggregate metrics: named counters and log-bucketed latency
+ * histograms.
+ *
+ * Histograms bucket samples by bit width (bucket i holds values whose
+ * highest set bit is bit i-1, bucket 0 holds zero), so recording is a
+ * single `bit_width` plus two adds, capacity is fixed, and percentile
+ * queries interpolate linearly inside the winning bucket and clamp to
+ * the observed [min, max]. Resolution is therefore about one octave in
+ * the worst case — plenty for the "where do the cycles go" questions
+ * the benches ask, at a cost low enough to leave enabled everywhere.
+ */
+
+#ifndef OSH_TRACE_METRICS_HH
+#define OSH_TRACE_METRICS_HH
+
+#include "base/types.hh"
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace osh::trace
+{
+
+/** Log2-bucketed latency/size histogram. */
+class LatencyHistogram
+{
+  public:
+    static constexpr std::size_t numBuckets = 65;
+
+    void record(std::uint64_t value);
+
+    std::uint64_t count() const { return count_; }
+    std::uint64_t sum() const { return sum_; }
+    std::uint64_t min() const { return count_ > 0 ? min_ : 0; }
+    std::uint64_t max() const { return max_; }
+    std::uint64_t mean() const { return count_ > 0 ? sum_ / count_ : 0; }
+
+    /**
+     * Estimate the @p p-th percentile (p in [0, 100]) by nearest rank:
+     * find the bucket holding the ceil(p/100 * count)-th smallest
+     * sample, interpolate linearly inside it, clamp to [min, max].
+     */
+    std::uint64_t percentile(double p) const;
+
+    /** Inclusive value range of bucket @p i. */
+    static std::uint64_t bucketLow(std::size_t i);
+    static std::uint64_t bucketHigh(std::size_t i);
+
+    /** Raw bucket counts (tests). */
+    const std::array<std::uint64_t, numBuckets>& buckets() const
+    {
+        return buckets_;
+    }
+
+    void reset();
+
+    /** "count=N sum=S mean=M p50=. p95=. p99=. max=." */
+    std::string summary() const;
+
+  private:
+    std::array<std::uint64_t, numBuckets> buckets_{};
+    std::uint64_t count_ = 0;
+    std::uint64_t sum_ = 0;
+    std::uint64_t min_ = ~std::uint64_t{0};
+    std::uint64_t max_ = 0;
+};
+
+/**
+ * All metrics of one tracer, keyed by (category, name). Counters and
+ * histograms live in separate namespaces; references stay valid for
+ * the registry's lifetime (until reset()).
+ */
+class MetricsRegistry
+{
+  public:
+    std::uint64_t& counter(std::uint8_t category,
+                           const std::string& name);
+    LatencyHistogram& histogram(std::uint8_t category,
+                                const std::string& name);
+
+    /** Value of a counter, 0 if absent (lookup only, no creation). */
+    std::uint64_t counterValue(std::uint8_t category,
+                               const std::string& name) const;
+
+    /** Histogram lookup without creation; nullptr if absent. */
+    const LatencyHistogram* findHistogram(std::uint8_t category,
+                                          const std::string& name) const;
+
+    using Key = std::pair<std::uint8_t, std::string>;
+
+    const std::map<Key, std::uint64_t>& counters() const
+    {
+        return counters_;
+    }
+    const std::map<Key, LatencyHistogram>& histograms() const
+    {
+        return histograms_;
+    }
+
+    void reset();
+
+  private:
+    std::map<Key, std::uint64_t> counters_;
+    std::map<Key, LatencyHistogram> histograms_;
+};
+
+} // namespace osh::trace
+
+#endif // OSH_TRACE_METRICS_HH

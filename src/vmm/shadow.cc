@@ -33,6 +33,7 @@ ShadowManager::install(const Context& ctx, GuestVA va_page,
     pm[va_page] = entry;
     reverse_[entry.mpa].push_back({ctx, va_page});
     stats_.counter("installs").inc();
+    OSH_TRACE_COUNT(tracer_, trace::Category::Shadow, "fills");
 }
 
 void
@@ -78,6 +79,8 @@ ShadowManager::invalidateVa(Asid asid, GuestVA va_page)
             dropFromReverse(eit->second.mpa, ctx, va_page);
             pm.erase(eit);
             stats_.counter("va_invalidations").inc();
+            OSH_TRACE_COUNT(tracer_, trace::Category::Shadow,
+                            "va_invalidations");
         }
     }
 }
@@ -93,6 +96,8 @@ ShadowManager::invalidateAsid(Asid asid)
         pm.clear();
     }
     stats_.counter("asid_invalidations").inc();
+    OSH_TRACE_COUNT(tracer_, trace::Category::Shadow,
+                    "asid_invalidations");
 }
 
 void
@@ -111,6 +116,8 @@ ShadowManager::invalidateMpa(Mpa frame_base)
         sit->second.erase(m.vaPage);
     }
     stats_.counter("mpa_invalidations").inc();
+    OSH_TRACE_COUNT(tracer_, trace::Category::Shadow,
+                    "mpa_invalidations");
 }
 
 void
@@ -119,6 +126,8 @@ ShadowManager::invalidateAll()
     shadows_.clear();
     reverse_.clear();
     stats_.counter("full_invalidations").inc();
+    OSH_TRACE_COUNT(tracer_, trace::Category::Shadow,
+                    "full_invalidations");
 }
 
 std::size_t

@@ -17,6 +17,7 @@
 
 #include "base/stats.hh"
 #include "base/types.hh"
+#include "trace/trace.hh"
 #include "vmm/context.hh"
 
 #include <optional>
@@ -67,6 +68,9 @@ class ShadowManager
     /** Number of live shadow entries (for tests / stats). */
     std::size_t entryCount() const;
 
+    /** Attach the machine tracer (the owning Vmm wires this). */
+    void setTracer(trace::Tracer* tracer) { tracer_ = tracer; }
+
     StatGroup& stats() { return stats_; }
 
   private:
@@ -86,6 +90,7 @@ class ShadowManager
     /** Reverse index: machine frame -> all shadow entries mapping it. */
     std::unordered_map<Mpa, std::vector<Mapping>> reverse_;
     StatGroup stats_;
+    trace::Tracer* tracer_ = nullptr;
 };
 
 } // namespace osh::vmm

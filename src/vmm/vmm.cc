@@ -1,6 +1,7 @@
 #include "vmm/vmm.hh"
 
 #include "base/logging.hh"
+#include "vmm/vcpu.hh"
 
 namespace osh::vmm
 {
@@ -59,6 +60,7 @@ Vmm::Vmm(sim::Machine& machine, std::uint64_t guest_frames)
       passthrough_(std::make_unique<PassthroughBackend>(pmap_)),
       cloak_(passthrough_.get()), stats_("vmm")
 {
+    shadows_.setTracer(&machine_.tracer());
 }
 
 void
@@ -83,6 +85,11 @@ Vmm::resolve(Vcpu& vcpu, const Context& ctx, GuestVA va_page,
     osh_assert(os_ != nullptr, "no guest OS attached to the VMM");
     va_page = pageBase(va_page);
 
+    OSH_TRACE_SCOPE(&machine_.tracer(), trace::Category::Vmm,
+                    "hidden_fault", ctx.view,
+                    static_cast<Pid>(ctx.asid), va_page,
+                    static_cast<std::uint64_t>(access));
+
     const auto& costs = machine_.cost().params();
     machine_.cost().charge(costs.vmExit, "vm_exit");
 
@@ -102,6 +109,9 @@ Vmm::resolve(Vcpu& vcpu, const Context& ctx, GuestVA va_page,
 
         if (needs_guest_fault) {
             stats_.counter("guest_faults").inc();
+            OSH_TRACE_INSTANT(&machine_.tracer(), trace::Category::Vmm,
+                              "guest_fault", ctx.view,
+                              static_cast<Pid>(ctx.asid), va_page);
             machine_.cost().charge(costs.interruptDeliver);
             os_->handleGuestPageFault(vcpu, va_page, access);
             continue;
@@ -166,6 +176,10 @@ std::int64_t
 Vmm::hypercall(Vcpu& vcpu, Hypercall num,
                std::span<const std::uint64_t> args)
 {
+    OSH_TRACE_SCOPE(&machine_.tracer(), trace::Category::Vmm,
+                    "hypercall", vcpu.context().view,
+                    static_cast<Pid>(vcpu.context().asid),
+                    static_cast<std::uint64_t>(num));
     chargeWorldSwitch("hypercall");
     stats_.counter("hypercalls").inc();
     return cloak_->hypercall(vcpu, num, args);
@@ -177,6 +191,8 @@ Vmm::chargeWorldSwitch(const char* reason)
     const auto& costs = machine_.cost().params();
     machine_.cost().charge(costs.vmExit + costs.vmResume, reason);
     stats_.counter("world_switches").inc();
+    OSH_TRACE_COUNT(&machine_.tracer(), trace::Category::Vmm,
+                    "world_switches");
 }
 
 } // namespace osh::vmm

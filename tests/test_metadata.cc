@@ -231,6 +231,50 @@ TEST_F(SealTest, RollbackRejected)
     EXPECT_EQ(store_.lastSealedVersion(77), 2u);
 }
 
+TEST_F(SealTest, UnsealAdvancesRollbackFloor)
+{
+    Resource& src = makeFileResource();
+    auto v1 = store_.seal(src, key_, owner_); // version 1
+    auto v2 = store_.seal(src, key_, owner_); // version 2
+
+    // A *fresh* store (a rebooted VMM) has never sealed file key 77,
+    // so its floor starts at zero. Accepting the v2 bundle must raise
+    // the floor so a later replay of v1 is refused — otherwise an
+    // attacker could feed bundles oldest-last across reboots.
+    sim::CostModel cost2;
+    MetadataStore store2(cost2, 4);
+    Resource& dst = store2.createResource(2, true, 77);
+    ASSERT_TRUE(store2.unseal(v2, key_, owner_, dst));
+    EXPECT_EQ(store2.lastSealedVersion(77), 2u);
+
+    Resource& dst2 = store2.createResource(3, true, 77);
+    EXPECT_FALSE(store2.unseal(v1, key_, owner_, dst2));
+    EXPECT_EQ(store2.stats().value("unseal_rollback"), 1u);
+
+    // Re-importing the same (newest) version stays legal.
+    Resource& dst3 = store2.createResource(4, true, 77);
+    EXPECT_TRUE(store2.unseal(v2, key_, owner_, dst3));
+}
+
+TEST_F(SealTest, SealAfterUnsealContinuesVersionChain)
+{
+    Resource& src = makeFileResource();
+    auto v1 = store_.seal(src, key_, owner_); // version 1
+
+    // Import into a fresh store, then seal there: the new bundle must
+    // be version 2, not version 1 again.
+    sim::CostModel cost2;
+    MetadataStore store2(cost2, 4);
+    Resource& dst = store2.createResource(2, true, 77);
+    ASSERT_TRUE(store2.unseal(v1, key_, owner_, dst));
+    store2.seal(dst, key_, owner_);
+    EXPECT_EQ(store2.lastSealedVersion(77), 2u);
+
+    // The original v1 bundle is now stale for store2.
+    Resource& dst2 = store2.createResource(3, true, 77);
+    EXPECT_FALSE(store2.unseal(v1, key_, owner_, dst2));
+}
+
 TEST_F(SealTest, DistinctFileKeysVersionIndependently)
 {
     Resource& a = makeFileResource(100);
