@@ -28,11 +28,14 @@ struct Point
 Point
 run(bool clean_opt, std::uint64_t requests)
 {
-    system::SystemConfig cfg;
-    cfg.cloakingEnabled = true;
-    cfg.guestFrames = 4096;
-    cfg.cleanOptimization = clean_opt;
-    cfg.trace.enabled = bench::tracingRequested();
+    trace::TraceConfig tc;
+    tc.enabled = bench::tracingRequested();
+    auto cfg = system::SystemConfig::Builder{}
+                   .cloaking(true)
+                   .guestFrames(4096)
+                   .cleanOptimization(clean_opt)
+                   .trace(tc)
+                   .build();
     system::System sys(cfg);
     workloads::registerAll(sys);
     auto r = sys.runProgram("wl.fileserver",

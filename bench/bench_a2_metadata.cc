@@ -23,11 +23,14 @@ main()
                 "cycles", "md hits", "md misses", "hit rate",
                 "miss cycles");
     for (std::size_t capacity : {16u, 64u, 256u, 1024u, 4096u}) {
-        system::SystemConfig cfg;
-        cfg.cloakingEnabled = true;
-        cfg.guestFrames = 224;
-        cfg.metadataCacheEntries = capacity;
-        cfg.trace.enabled = bench::tracingRequested();
+        trace::TraceConfig tc;
+        tc.enabled = bench::tracingRequested();
+        auto cfg = system::SystemConfig::Builder{}
+                       .cloaking(true)
+                       .guestFrames(224)
+                       .metadataCacheEntries(capacity)
+                       .trace(tc)
+                       .build();
         system::System sys(cfg);
         workloads::registerAll(sys);
         auto r = sys.runProgram("wl.memstress", {"256", "3"});

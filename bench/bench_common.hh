@@ -42,21 +42,52 @@ tracingRequested()
 #endif
 }
 
+/** Knobs a bench varies when building systems. */
+struct BenchOptions
+{
+    bool cloaked = true;
+    std::uint64_t frames = 4096;
+    std::uint64_t seed = 42;
+    std::uint64_t preemptOps = 2'000'000;
+    /** Shadow-resolution fast path (ablation: off = flush-everything
+     *  VMM and no re-encryption victim cache). */
+    bool fastPath = true;
+};
+
 /** Build a system with workloads registered. */
+inline std::unique_ptr<system::System>
+makeSystem(const BenchOptions& opt)
+{
+    trace::TraceConfig tc;
+    tc.enabled = tracingRequested();
+    auto cfg = system::SystemConfig::Builder{}
+                   .cloaking(opt.cloaked)
+                   .guestFrames(opt.frames)
+                   .seed(opt.seed)
+                   .preemptOpsPerTick(opt.preemptOps)
+                   .shadowRetention(opt.fastPath)
+                   .victimCacheEntries(
+                       opt.fastPath ? system::SystemConfig{}.victimCacheEntries
+                                    : 0)
+                   .trace(tc)
+                   .build();
+    auto sys = std::make_unique<system::System>(cfg);
+    workloads::registerAll(*sys);
+    return sys;
+}
+
+/** Build a system with workloads registered (legacy signature). */
 inline std::unique_ptr<system::System>
 makeSystem(bool cloaked, std::uint64_t frames = 4096,
            std::uint64_t seed = 42,
            std::uint64_t preempt_ops = 2'000'000)
 {
-    system::SystemConfig cfg;
-    cfg.cloakingEnabled = cloaked;
-    cfg.guestFrames = frames;
-    cfg.seed = seed;
-    cfg.preemptOpsPerTick = preempt_ops;
-    cfg.trace.enabled = tracingRequested();
-    auto sys = std::make_unique<system::System>(cfg);
-    workloads::registerAll(*sys);
-    return sys;
+    BenchOptions opt;
+    opt.cloaked = cloaked;
+    opt.frames = frames;
+    opt.seed = seed;
+    opt.preemptOps = preempt_ops;
+    return makeSystem(opt);
 }
 
 /**
@@ -106,6 +137,102 @@ header(const char* title)
     std::printf("==================================================="
                 "===========\n");
 }
+
+/**
+ * Machine-readable bench result, written as `BENCH_<phase>.json` for
+ * the perf-regression harness (bench/compare.py diffs two files and
+ * fails on cycle regressions beyond a tolerance).
+ *
+ * The file holds one flat `metrics` object of integer values: total
+ * cycles, per-operation cycle costs, fault/crypto-op counters, and —
+ * when tracing is on — p50/p95 latencies from the trace histograms.
+ * Every value is a deterministic simulated quantity: two runs of the
+ * same binary with the same seed produce byte-identical metrics.
+ */
+class BenchReport
+{
+  public:
+    explicit BenchReport(std::string phase) : phase_(std::move(phase)) {}
+
+    /** Record one scalar metric (use '.'-separated key paths). */
+    void
+    set(const std::string& key, std::uint64_t value)
+    {
+        metrics_.emplace_back(key, value);
+    }
+
+    /** Record every counter of a StatGroup under `prefix.group.name`. */
+    void
+    setGroup(const std::string& prefix, const StatGroup& group)
+    {
+        for (const auto& [name, value] : group.snapshot())
+            set(prefix + "." + group.name() + "." + name, value);
+    }
+
+    /**
+     * Capture a finished system run: total cycles, the fault/crypto
+     * counters of every major component, and (when tracing ran)
+     * p50/p95 of each latency histogram.
+     */
+    void
+    captureSystem(const std::string& prefix, system::System& sys)
+    {
+        set(prefix + ".cycles", sys.cycles());
+        setGroup(prefix, sys.vmm().stats());
+        setGroup(prefix, sys.vmm().shadows().stats());
+        setGroup(prefix, sys.vmm().tlb().stats());
+        setGroup(prefix, sys.sched().stats());
+        if (sys.cloak() != nullptr) {
+            setGroup(prefix, sys.cloak()->stats());
+            set(prefix + ".cloak.audit_dropped",
+                sys.cloak()->auditLog().dropped());
+        }
+        if (sys.tracer().enabled()) {
+            for (const auto& [key, hist] :
+                 sys.tracer().metrics().histograms()) {
+                std::string base =
+                    prefix + ".hist." +
+                    trace::categoryName(
+                        static_cast<trace::Category>(key.first)) +
+                    "." + key.second;
+                set(base + ".p50", hist.percentile(50));
+                set(base + ".p95", hist.percentile(95));
+            }
+        }
+    }
+
+    /** Write `BENCH_<phase>.json`; returns the path ("" on failure). */
+    std::string
+    write() const
+    {
+        std::string path = "BENCH_" + phase_ + ".json";
+        std::FILE* f = std::fopen(path.c_str(), "w");
+        if (f == nullptr) {
+            std::fprintf(stderr, "[bench] cannot write %s\n",
+                         path.c_str());
+            return "";
+        }
+        std::fprintf(f, "{\n  \"schema\": 1,\n  \"phase\": \"%s\",\n"
+                        "  \"metrics\": {\n",
+                     phase_.c_str());
+        for (std::size_t i = 0; i < metrics_.size(); ++i) {
+            std::fprintf(f, "    \"%s\": %llu%s\n",
+                         metrics_[i].first.c_str(),
+                         static_cast<unsigned long long>(
+                             metrics_[i].second),
+                         i + 1 < metrics_.size() ? "," : "");
+        }
+        std::fprintf(f, "  }\n}\n");
+        std::fclose(f);
+        std::printf("[bench] wrote %s (%zu metrics)\n", path.c_str(),
+                    metrics_.size());
+        return path;
+    }
+
+  private:
+    std::string phase_;
+    std::vector<std::pair<std::string, std::uint64_t>> metrics_;
+};
 
 } // namespace osh::bench
 

@@ -137,17 +137,17 @@ microMain(Env& env)
 }
 
 std::map<std::string, std::uint64_t>
-runMicro(bool cloaked)
+runMicro(const bench::BenchOptions& opt, const std::string& label,
+         bench::BenchReport& report)
 {
-    auto sys = bench::makeSystem(cloaked);
+    auto sys = bench::makeSystem(opt);
     sys->addProgram("mb.noop",
                     os::Program{[](Env&) { return 0; }, true, 16});
     sys->addProgram("mb.micro", os::Program{microMain, true, 64});
     auto r = sys->runProgram("mb.micro");
     if (r.status != 0)
         osh_fatal("micro failed: %d %s", r.status, r.killReason.c_str());
-    bench::reportPhase(*sys,
-                       cloaked ? "t2_cloaked" : "t2_native");
+    bench::reportPhase(*sys, "t2_" + label);
 
     std::map<std::string, std::uint64_t> vals;
     std::istringstream in(workloads::readGuestFile(*sys,
@@ -156,6 +156,10 @@ runMicro(bool cloaked)
     std::uint64_t v;
     while (in >> name >> v)
         vals[name] = v;
+
+    for (const auto& [op, cycles] : vals)
+        report.set(label + ".op." + op, cycles);
+    report.captureSystem(label, *sys);
     return vals;
 }
 
@@ -167,11 +171,26 @@ main()
     using namespace osh;
     bench::header("Table T2: system-call latencies (simulated cycles)");
 
-    auto native = runMicro(false);
-    auto cloaked = runMicro(true);
+    bench::BenchReport report("t2_syscalls");
 
-    std::printf("%-16s %12s %12s %10s\n", "operation", "native",
-                "overshadow", "slowdown");
+    bench::BenchOptions native_opt;
+    native_opt.cloaked = false;
+    auto native = runMicro(native_opt, "native", report);
+
+    bench::BenchOptions cloaked_opt;
+    cloaked_opt.cloaked = true;
+    auto cloaked = runMicro(cloaked_opt, "cloaked", report);
+
+    // Ablation: same cloaked system with the shadow-resolution fast
+    // path off — untagged shadows flushed on every context switch and
+    // no re-encryption victim cache.
+    bench::BenchOptions slow_opt;
+    slow_opt.cloaked = true;
+    slow_opt.fastPath = false;
+    auto slowpath = runMicro(slow_opt, "cloaked_nofastpath", report);
+
+    std::printf("%-16s %12s %12s %10s %14s\n", "operation", "native",
+                "overshadow", "slowdown", "no-fastpath");
     const char* order[] = {
         "getpid",      "read_4k",     "write_4k",   "prot_read_4k",
         "prot_write_4k", "open_close", "mmap_munmap", "signal",
@@ -180,12 +199,17 @@ main()
     for (const char* op : order) {
         double n = static_cast<double>(native[op]);
         double c = static_cast<double>(cloaked[op]);
-        std::printf("%-16s %12.0f %12.0f %9.2fx\n", op, n, c,
-                    n > 0 ? c / n : 0.0);
+        double s = static_cast<double>(slowpath[op]);
+        std::printf("%-16s %12.0f %12.0f %9.2fx %14.0f\n", op, n, c,
+                    n > 0 ? c / n : 0.0, s);
     }
     std::printf("\nNote: prot_* rows use a protected file; under "
                 "Overshadow the shim serves them\nfrom the cloaked "
                 "mapping (memory-mapped emulation) instead of "
-                "trapping per call.\n");
+                "trapping per call.\nThe no-fastpath column disables "
+                "ASID-tagged shadow retention and the\nre-encryption "
+                "victim cache (ablation).\n");
+
+    report.write();
     return 0;
 }

@@ -1,0 +1,118 @@
+#!/usr/bin/env python3
+"""Compare two BENCH_<phase>.json files and fail on perf regressions.
+
+Usage:
+    compare.py BASELINE.json CURRENT.json [--tolerance 0.10] [--all]
+
+Both files are the `schema: 1` output of osh::bench::BenchReport: one
+flat "metrics" object of deterministic simulated integers. Cycle-like
+metrics (total cycles, per-op cycle costs, histogram percentiles) are
+*gated*: if the current value exceeds baseline * (1 + tolerance) the
+script prints the offending rows and exits 1. Non-cycle counters
+(faults, crypto ops, cache hits) are informational by default — they
+describe *why* cycles moved — unless --all gates them too.
+
+Keys present in only one file are reported as warnings, never errors:
+adding a metric must not break CI, and a renamed metric shows up as
+one "missing" plus one "new" line, which is the reviewer's cue to
+refresh the baseline.
+"""
+
+import argparse
+import json
+import sys
+
+
+def is_gated(key: str) -> bool:
+    """Cycle-like metrics that constitute a perf regression."""
+    return (
+        key.endswith("cycles")
+        or ".op." in key
+        or key.endswith(".p50")
+        or key.endswith(".p95")
+    )
+
+
+def load_metrics(path: str) -> dict:
+    with open(path) as f:
+        doc = json.load(f)
+    if doc.get("schema") != 1:
+        sys.exit(f"{path}: unsupported schema {doc.get('schema')!r}")
+    return doc["metrics"]
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("baseline")
+    ap.add_argument("current")
+    ap.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.10,
+        metavar="FRAC",
+        help="allowed fractional increase on gated metrics "
+        "(default 0.10 = +10%%)",
+    )
+    ap.add_argument(
+        "--all",
+        action="store_true",
+        help="gate every metric, not just cycle-like ones",
+    )
+    args = ap.parse_args()
+
+    base = load_metrics(args.baseline)
+    cur = load_metrics(args.current)
+
+    regressions = []
+    improvements = []
+    drifts = []
+    for key in sorted(base.keys() & cur.keys()):
+        b, c = base[key], cur[key]
+        if b == c:
+            continue
+        delta = (c - b) / b if b else float("inf")
+        row = (key, b, c, delta)
+        if args.all or is_gated(key):
+            if c > b * (1.0 + args.tolerance):
+                regressions.append(row)
+            elif c < b:
+                improvements.append(row)
+        else:
+            drifts.append(row)
+
+    missing = sorted(base.keys() - cur.keys())
+    new = sorted(cur.keys() - base.keys())
+
+    def show(rows, label):
+        if not rows:
+            return
+        print(f"{label}:")
+        for key, b, c, delta in rows:
+            print(f"  {key}: {b} -> {c} ({delta:+.1%})")
+
+    show(regressions, "REGRESSIONS (beyond tolerance)")
+    show(improvements, "improvements")
+    show(drifts, "counter drift (informational)")
+    for key in missing:
+        print(f"warning: metric missing from current run: {key}")
+    for key in new:
+        print(f"warning: new metric not in baseline: {key}")
+
+    n_checked = sum(
+        1 for k in base.keys() & cur.keys() if args.all or is_gated(k)
+    )
+    if regressions:
+        print(
+            f"FAIL: {len(regressions)}/{n_checked} gated metrics "
+            f"regressed beyond {args.tolerance:.0%}"
+        )
+        return 1
+    print(
+        f"OK: {n_checked} gated metrics within {args.tolerance:.0%} "
+        f"of baseline ({len(improvements)} improved)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

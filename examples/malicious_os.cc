@@ -46,9 +46,8 @@ runScenario(bool cloaked)
 {
     std::printf("\n--- %s run ---\n",
                 cloaked ? "OVERSHADOW (cloaked)" : "NATIVE");
-    system::SystemConfig cfg;
-    cfg.cloakingEnabled = cloaked;
-    system::System sys(cfg);
+    system::System sys(
+        system::SystemConfig::Builder{}.cloaking(cloaked).build());
     sys.kernel().malice().snoopUserMemory = true;
     sys.kernel().malice().snoopVa = secretVa;
     sys.kernel().malice().recordTrapFrames = true;
@@ -82,9 +81,10 @@ runTamperScenario(bool cloaked)
 {
     std::printf("\n--- swap tampering, %s ---\n",
                 cloaked ? "OVERSHADOW (cloaked)" : "NATIVE");
-    system::SystemConfig cfg;
-    cfg.cloakingEnabled = cloaked;
-    cfg.guestFrames = 96; // force paging of the 200-page working set
+    auto cfg = system::SystemConfig::Builder{}
+                   .cloaking(cloaked)
+                   .guestFrames(96) // force paging of the 200-page set
+                   .build();
     system::System sys(cfg);
     workloads::registerAll(sys);
     sys.kernel().malice().tamperSwap = true;

@@ -86,8 +86,7 @@ snoopToolMain(Env& env)
 int
 main()
 {
-    system::SystemConfig cfg;
-    system::System sys(cfg);
+    system::System sys(system::SystemConfig::Builder{}.build());
     sys.addProgram("vault", os::Program{vaultMain, true, 64});
     sys.addProgram("snoop-tool", os::Program{snoopToolMain, true, 64});
 

@@ -22,17 +22,18 @@ using namespace osh;
 int
 main()
 {
-    system::SystemConfig cfg;
-    cfg.cloakingEnabled = true;
     // OSH_TRACE=1 records a timeline + metrics of the run (see
     // docs/tracing.md); it does not change the simulated cycle counts.
+    trace::TraceConfig tc;
 #if OSH_TRACE_ENABLED
     const char* trace_env = std::getenv("OSH_TRACE");
-    cfg.trace.enabled =
-        trace_env != nullptr && trace_env[0] != '\0' &&
-        trace_env[0] != '0';
+    tc.enabled = trace_env != nullptr && trace_env[0] != '\0' &&
+                 trace_env[0] != '0';
 #endif
-    system::System sys(cfg);
+    system::System sys(system::SystemConfig::Builder{}
+                           .cloaking(true)
+                           .trace(tc)
+                           .build());
 
     const std::string secret = "attack at dawn";
 

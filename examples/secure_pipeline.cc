@@ -105,8 +105,7 @@ coordinatorMain(Env& env)
 int
 main()
 {
-    system::SystemConfig cfg;
-    system::System sys(cfg);
+    system::System sys(system::SystemConfig::Builder{}.build());
     sys.addProgram("pipeline", os::Program{coordinatorMain, true, 64});
 
     auto r = sys.runProgram("pipeline");

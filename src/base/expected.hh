@@ -1,0 +1,103 @@
+/**
+ * @file
+ * A small result type: a value or a typed error.
+ *
+ * The cloak engine's public surface returns Expected<T, CloakError>
+ * instead of ad-hoc bool / sentinel / negative-integer conventions, so
+ * callers must consciously unwrap and cannot silently drop a failure.
+ * Modelled on std::expected (C++23), reduced to what this codebase
+ * needs: construction from a value or an Error<E> tag, ok()/error(),
+ * value access asserted in debug builds, and valueOr().
+ */
+
+#ifndef OSH_BASE_EXPECTED_HH
+#define OSH_BASE_EXPECTED_HH
+
+#include "base/logging.hh"
+
+#include <utility>
+#include <variant>
+
+namespace osh
+{
+
+/** Tag wrapper that marks a constructor argument as an error. */
+template <typename E>
+struct Error
+{
+    E code;
+
+    constexpr explicit Error(E c) : code(c) {}
+};
+
+/** A value of type T, or an error of type E. */
+template <typename T, typename E>
+class Expected
+{
+  public:
+    Expected(T value) : store_(std::in_place_index<0>, std::move(value)) {}
+    Expected(Error<E> err) : store_(std::in_place_index<1>, err.code) {}
+
+    bool ok() const { return store_.index() == 0; }
+    explicit operator bool() const { return ok(); }
+
+    T&
+    value()
+    {
+        osh_assert(ok(), "value() on an error Expected");
+        return std::get<0>(store_);
+    }
+
+    const T&
+    value() const
+    {
+        osh_assert(ok(), "value() on an error Expected");
+        return std::get<0>(store_);
+    }
+
+    T
+    valueOr(T fallback) const
+    {
+        return ok() ? std::get<0>(store_) : std::move(fallback);
+    }
+
+    E
+    error() const
+    {
+        osh_assert(!ok(), "error() on a value Expected");
+        return std::get<1>(store_);
+    }
+
+    T& operator*() { return value(); }
+    const T& operator*() const { return value(); }
+
+  private:
+    std::variant<T, E> store_;
+};
+
+/** Void specialization: success carries no payload. */
+template <typename E>
+class Expected<void, E>
+{
+  public:
+    Expected() = default;
+    Expected(Error<E> err) : hasError_(true), error_(err.code) {}
+
+    bool ok() const { return !hasError_; }
+    explicit operator bool() const { return ok(); }
+
+    E
+    error() const
+    {
+        osh_assert(hasError_, "error() on a value Expected");
+        return error_;
+    }
+
+  private:
+    bool hasError_ = false;
+    E error_{};
+};
+
+} // namespace osh
+
+#endif // OSH_BASE_EXPECTED_HH

@@ -23,6 +23,7 @@
 #ifndef OSH_CLOAK_ENGINE_HH
 #define OSH_CLOAK_ENGINE_HH
 
+#include "base/expected.hh"
 #include "base/stats.hh"
 #include "base/types.hh"
 #include "cloak/metadata.hh"
@@ -31,10 +32,14 @@
 #include "vmm/hooks.hh"
 #include "vmm/vmm.hh"
 
+#include <array>
 #include <cstdint>
+#include <deque>
+#include <list>
 #include <map>
 #include <optional>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 namespace osh::cloak
@@ -68,13 +73,213 @@ struct Domain
     bool ctcHashValid = false;
 };
 
-/** One recorded protection violation. */
+/**
+ * Typed failure reasons for the cloak engine's fallible operations.
+ * Every error travels in an Expected<T, CloakError> and is recorded in
+ * the audit log at the point of failure, so callers never have to
+ * translate sentinels back into causes.
+ */
+enum class CloakError : std::uint8_t
+{
+    UnknownDomain,          ///< Operation on a domain id that does not exist.
+    NoCtcHash,              ///< CTC verified before any hash was recorded.
+    CtcHashMismatch,        ///< CTC contents differ from the recorded hash.
+    BadForkToken,           ///< Fork token unknown or for another domain.
+    ForkAlreadySnapshotted, ///< snapshotFork called twice for one token.
+    ForkNotSnapshotted,     ///< forkAttach before snapshotFork.
+    UnknownResource,        ///< Operation on a resource id that does not exist.
+    ForeignResource,        ///< Resource belongs to another domain.
+    NotAFileResource,       ///< File operation on a private memory resource.
+    SealRejected,           ///< Sealed bundle failed MAC/identity/version.
+    IntegrityViolation,     ///< Page hash mismatch (kernel tampering/replay).
+};
+
+/** Stable short name for an error (used as the audit-event reason). */
+const char* cloakErrorName(CloakError e);
+
+/** One recorded protection violation or rejected operation. */
 struct AuditEvent
 {
     DomainId domain;
     ResourceId resource;
     std::uint64_t pageIndex;
     std::string reason;
+    CloakError code = CloakError::IntegrityViolation;
+};
+
+/**
+ * Fixed-capacity audit ring. Violations are diagnostics, not load-
+ * bearing state: under an adversarial kernel the log must not grow
+ * without bound, so once full the oldest events are dropped and
+ * counted. front() is the oldest retained event.
+ */
+class AuditLog
+{
+  public:
+    explicit AuditLog(std::size_t capacity = 256) : capacity_(capacity) {}
+
+    void
+    push(AuditEvent ev)
+    {
+        events_.push_back(std::move(ev));
+        while (events_.size() > capacity_) {
+            events_.pop_front();
+            ++dropped_;
+        }
+    }
+
+    bool empty() const { return events_.empty(); }
+    std::size_t size() const { return events_.size(); }
+    std::size_t capacity() const { return capacity_; }
+    /** Events discarded because the ring was full. */
+    std::uint64_t dropped() const { return dropped_; }
+
+    const AuditEvent& front() const { return events_.front(); }
+    const AuditEvent& back() const { return events_.back(); }
+    auto begin() const { return events_.begin(); }
+    auto end() const { return events_.end(); }
+
+    void
+    setCapacity(std::size_t capacity)
+    {
+        capacity_ = capacity == 0 ? 1 : capacity;
+        while (events_.size() > capacity_) {
+            events_.pop_front();
+            ++dropped_;
+        }
+    }
+
+  private:
+    std::size_t capacity_;
+    std::uint64_t dropped_ = 0;
+    std::deque<AuditEvent> events_;
+};
+
+/**
+ * Re-encryption victim cache.
+ *
+ * Remembers the last N encryption results keyed by
+ * (resource, page index, version): the IV and hash the metadata holds
+ * plus byte copies of the ciphertext and plaintext images. When a page
+ * ping-pongs between the kernel view and its owner without being
+ * modified, the version never changes, so:
+ *
+ *   - re-encrypting a clean page becomes a copy of the cached
+ *     ciphertext (AES-CTR under the stored IV is deterministic, so the
+ *     bytes are identical and the stored hash stays valid);
+ *   - decrypting becomes a compare of the frame against the cached
+ *     authentic ciphertext followed by a copy of the cached plaintext —
+ *     any kernel tampering makes the compare fail, which falls back to
+ *     the full hash-verify path and is caught there.
+ *
+ * A dirty encryption bumps the version and takes a fresh IV, so stale
+ * entries can never false-hit. Capacity 0 disables the cache.
+ */
+class VictimCache
+{
+  public:
+    struct Entry
+    {
+        ResourceId resource = 0;
+        std::uint64_t pageIndex = 0;
+        std::uint64_t version = 0;
+        crypto::Iv iv{};
+        crypto::Digest hash{};
+        std::array<std::uint8_t, pageSize> ciphertext{};
+        std::array<std::uint8_t, pageSize> plaintext{};
+    };
+
+    explicit VictimCache(std::size_t capacity = 8) : capacity_(capacity) {}
+
+    std::size_t capacity() const { return capacity_; }
+    std::size_t size() const { return lru_.size(); }
+
+    void
+    setCapacity(std::size_t capacity)
+    {
+        capacity_ = capacity;
+        evictToCapacity();
+    }
+
+    /** Find an entry and mark it most recently used. */
+    Entry*
+    find(ResourceId resource, std::uint64_t page_index,
+         std::uint64_t version)
+    {
+        auto it = index_.find(Key{resource, page_index, version});
+        if (it == index_.end())
+            return nullptr;
+        lru_.splice(lru_.begin(), lru_, it->second);
+        return &*it->second;
+    }
+
+    /**
+     * Insert (or replace) the entry for a key and return the slot for
+     * the caller to fill. Returns nullptr when the cache is disabled.
+     */
+    Entry*
+    insert(ResourceId resource, std::uint64_t page_index,
+           std::uint64_t version)
+    {
+        if (capacity_ == 0)
+            return nullptr;
+        Key key{resource, page_index, version};
+        auto it = index_.find(key);
+        if (it != index_.end()) {
+            lru_.splice(lru_.begin(), lru_, it->second);
+        } else {
+            lru_.push_front(Entry{});
+            index_[key] = lru_.begin();
+            evictToCapacity();
+        }
+        Entry& e = lru_.front();
+        e.resource = resource;
+        e.pageIndex = page_index;
+        e.version = version;
+        return &e;
+    }
+
+  private:
+    struct Key
+    {
+        ResourceId resource;
+        std::uint64_t pageIndex;
+        std::uint64_t version;
+
+        bool
+        operator==(const Key& o) const
+        {
+            return resource == o.resource && pageIndex == o.pageIndex &&
+                   version == o.version;
+        }
+    };
+
+    struct KeyHash
+    {
+        std::size_t
+        operator()(const Key& k) const
+        {
+            std::uint64_t h = k.resource * 0x9e3779b97f4a7c15ull;
+            h ^= k.pageIndex + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+            h ^= k.version + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+            return static_cast<std::size_t>(h);
+        }
+    };
+
+    void
+    evictToCapacity()
+    {
+        while (lru_.size() > capacity_) {
+            const Entry& victim = lru_.back();
+            index_.erase(
+                Key{victim.resource, victim.pageIndex, victim.version});
+            lru_.pop_back();
+        }
+    }
+
+    std::size_t capacity_;
+    std::list<Entry> lru_; ///< Front = most recently used.
+    std::unordered_map<Key, std::list<Entry>::iterator, KeyHash> index_;
 };
 
 /** The Overshadow cloak engine. */
@@ -115,23 +320,30 @@ class CloakEngine : public vmm::CloakBackend
                               std::uint64_t resource_page_offset = 0);
     void unregisterRegion(DomainId domain, GuestVA start);
 
-    /** CTC handling used by the secure-control-transfer path. */
+    /** CTC handling used by the secure-control-transfer path. A failed
+     *  verification names its cause and is recorded in the audit log. */
     void bindCtc(DomainId domain, GuestVA ctc_va);
     void recordCtcHash(DomainId domain, const crypto::Digest& hash);
-    bool verifyCtcHash(DomainId domain, const crypto::Digest& hash) const;
+    Expected<void, CloakError> verifyCtcHash(DomainId domain,
+                                             const crypto::Digest& hash);
 
     /** Fork support. The parent mints a token before the fork trap;
      *  immediately after the trap returns (when the kernel has eagerly
      *  copied the encrypted page images and the parent has not yet run)
-     *  it snapshots its metadata; the child consumes the snapshot. */
-    std::uint64_t prepareFork(DomainId parent);
-    std::int64_t snapshotFork(DomainId parent, std::uint64_t token);
-    DomainId forkAttach(Asid child_asid, Pid child_pid,
-                        std::uint64_t token);
+     *  it snapshots its metadata; the child consumes the snapshot.
+     *  Every rejection carries a typed reason and is audited. */
+    Expected<std::uint64_t, CloakError> prepareFork(DomainId parent);
+    Expected<void, CloakError> snapshotFork(DomainId parent,
+                                            std::uint64_t token);
+    Expected<DomainId, CloakError> forkAttach(Asid child_asid,
+                                              Pid child_pid,
+                                              std::uint64_t token);
 
     /** Protected-file support. */
-    ResourceId attachFileResource(DomainId domain, std::uint64_t file_key);
-    std::int64_t sealFileResource(DomainId domain, ResourceId resource);
+    Expected<ResourceId, CloakError>
+    attachFileResource(DomainId domain, std::uint64_t file_key);
+    Expected<void, CloakError> sealFileResource(DomainId domain,
+                                                ResourceId resource);
     void discardFileMetadata(std::uint64_t file_key);
 
     /** Sealed-bundle store (tests tamper with this directly). */
@@ -141,11 +353,24 @@ class CloakEngine : public vmm::CloakBackend
     }
 
     MetadataStore& metadata() { return metadata_; }
-    const std::vector<AuditEvent>& auditLog() const { return auditLog_; }
+    const AuditLog& auditLog() const { return auditLog_; }
     StatGroup& stats() { return stats_; }
 
     /** Enable/disable the clean-plaintext optimization (ablation). */
     void setCleanOptimization(bool on) { cleanOptimization_ = on; }
+
+    /** Resize the re-encryption victim cache (0 disables; ablation). */
+    void setVictimCacheCapacity(std::size_t entries)
+    {
+        victims_.setCapacity(entries);
+    }
+    const VictimCache& victimCache() const { return victims_; }
+
+    /** Bound the audit ring (oldest events drop once full). */
+    void setAuditLogCapacity(std::size_t entries)
+    {
+        auditLog_.setCapacity(entries);
+    }
 
   private:
     struct PlaintextRef
@@ -172,6 +397,13 @@ class CloakEngine : public vmm::CloakBackend
 
     [[noreturn]] void violation(Resource& res, std::uint64_t page_index,
                                 const std::string& reason);
+
+    /** Record a rejected operation in the audit log and build the
+     *  error tag the caller returns. All Expected error paths funnel
+     *  through here, so emission cannot be forgotten at a call site. */
+    Error<CloakError> auditError(CloakError code, DomainId domain,
+                                 ResourceId resource = 0,
+                                 std::uint64_t page_index = 0);
 
     std::span<std::uint8_t> frameBytes(Gpa gpa);
 
@@ -207,7 +439,8 @@ class CloakEngine : public vmm::CloakBackend
     std::map<std::uint64_t, std::vector<std::uint8_t>> sealedStore_;
 
     bool cleanOptimization_ = true;
-    std::vector<AuditEvent> auditLog_;
+    VictimCache victims_;
+    AuditLog auditLog_;
     StatGroup stats_;
 };
 

@@ -76,6 +76,8 @@ Scheduler::switchFrom(Thread* cur, std::unique_lock<std::mutex>& lk,
         current_ = next;
         if (next != cur) {
             cost_.charge(cost_.params().contextSwitch, "context_switch");
+            if (switchHook_)
+                switchHook_();
             next->cv.notify_all();
         }
     } else {

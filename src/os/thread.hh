@@ -126,6 +126,17 @@ class Scheduler
      */
     std::uint64_t run();
 
+    /**
+     * Hook invoked (with the simulation lock held) whenever the CPU is
+     * handed to a *different* thread — the simulator's CR3-write point.
+     * The system layer uses it to tell the VMM about context switches
+     * (shadow/TLB retention policy).
+     */
+    void setSwitchHook(std::function<void()> hook)
+    {
+        switchHook_ = std::move(hook);
+    }
+
     /** Number of live (non-zombie) threads. */
     std::uint64_t liveThreads() const { return liveCount_; }
 
@@ -146,6 +157,7 @@ class Scheduler
     std::mutex lock_;
     std::condition_variable driverCv_;
 
+    std::function<void()> switchHook_;
     std::vector<std::unique_ptr<Thread>> threads_;
     std::deque<Thread*> readyQueue_;
     Thread* current_ = nullptr;

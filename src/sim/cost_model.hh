@@ -28,6 +28,7 @@ struct CostParams
     Cycles memAccess = 1;        ///< Load/store with a TLB hit.
     Cycles tlbMissWalk = 24;     ///< Shadow-page-table walk on TLB miss.
     Cycles shadowFill = 250;     ///< VMM fills a shadow entry (hidden fault).
+    Cycles shadowRevalidate = 60;///< Reactivating a retained shadow entry.
     Cycles tlbFlush = 100;       ///< Flushing a context's TLB.
 
     // Traps and world switches.
@@ -45,6 +46,7 @@ struct CostParams
     Cycles shaPerByte = 10;      ///< Software SHA-256.
     Cycles metadataHit = 40;     ///< Protection-metadata cache hit.
     Cycles metadataMiss = 900;   ///< Metadata cache miss (fetch+verify).
+    Cycles victimHitCopy = 1500; ///< Victim-cache hit: page compare+copy.
 
     // Devices.
     Cycles diskAccess = 300000;  ///< Fixed latency per disk I/O.

@@ -5,6 +5,8 @@
 #include "cloak/transfer.hh"
 #include "os/exceptions.hh"
 
+#include <stdexcept>
+
 namespace osh::system
 {
 
@@ -24,16 +26,44 @@ machineConfig(const SystemConfig& cfg)
 
 } // namespace
 
+SystemConfig
+SystemConfig::Builder::build() const
+{
+    if (cfg_.guestFrames == 0)
+        throw std::invalid_argument(
+            "SystemConfig: guestFrames must be > 0");
+    if (cfg_.metadataCacheEntries == 0)
+        throw std::invalid_argument(
+            "SystemConfig: metadataCacheEntries must be > 0 "
+            "(the metadata cache cannot hold nothing)");
+    if (cfg_.auditLogEntries == 0)
+        throw std::invalid_argument(
+            "SystemConfig: auditLogEntries must be > 0 "
+            "(violations must leave a trail)");
+    if (!cfg_.cloakingEnabled && cfg_.victimCacheEntries != 0 &&
+        cfg_.victimCacheEntries !=
+            SystemConfig{}.victimCacheEntries) {
+        throw std::invalid_argument(
+            "SystemConfig: victimCacheEntries configured with "
+            "cloaking disabled — nothing would ever use it");
+    }
+    return cfg_;
+}
+
 System::System(const SystemConfig& config)
     : config_(config), machine_(machineConfig(config)),
       vmm_(machine_, config.guestFrames),
       sched_(machine_.cost()),
       kernel_(vmm_, sched_, programs_)
 {
+    vmm_.setShadowRetention(config.shadowRetention);
+    sched_.setSwitchHook([this] { vmm_.onContextSwitch(); });
     if (config.cloakingEnabled) {
         engine_ = std::make_unique<cloak::CloakEngine>(
             vmm_, config.seed ^ 0x05ead0u, config.metadataCacheEntries);
         engine_->setCleanOptimization(config.cleanOptimization);
+        engine_->setVictimCacheCapacity(config.victimCacheEntries);
+        engine_->setAuditLogCapacity(config.auditLogEntries);
     }
     kernel_.setCloakingAvailable(engine_ != nullptr);
     kernel_.setProcessHost(this);

@@ -62,6 +62,76 @@ struct SystemConfig
      * roughly 2M memory operations between interrupts.
      */
     std::uint64_t preemptOpsPerTick = 2'000'000;
+
+    /** ASID-tagged shadow retention across context switches and
+     *  cloak-state flips (ablation knob; off = flush-everything VMM). */
+    bool shadowRetention = true;
+
+    /** Re-encryption victim cache entries (0 disables; ablation). */
+    std::size_t victimCacheEntries = 8;
+
+    /** Audit ring capacity; oldest events drop (counted) once full. */
+    std::size_t auditLogEntries = 256;
+
+    class Builder;
+};
+
+/**
+ * Fluent builder for SystemConfig. Unlike brace-initializing the
+ * struct, build() validates the combination and throws
+ * std::invalid_argument on nonsense (no memory, zero-capacity caches),
+ * so misconfigured benchmarks fail loudly instead of measuring garbage.
+ *
+ *   auto cfg = SystemConfig::Builder{}
+ *                  .guestFrames(512)
+ *                  .seed(7)
+ *                  .cloaking(true)
+ *                  .build();
+ */
+class SystemConfig::Builder
+{
+  public:
+    Builder& guestFrames(std::uint64_t n) { cfg_.guestFrames = n; return *this; }
+    Builder& seed(std::uint64_t s) { cfg_.seed = s; return *this; }
+    Builder& costs(const sim::CostParams& c) { cfg_.costs = c; return *this; }
+    Builder& cloaking(bool on) { cfg_.cloakingEnabled = on; return *this; }
+    Builder& metadataCacheEntries(std::size_t n)
+    {
+        cfg_.metadataCacheEntries = n;
+        return *this;
+    }
+    Builder& trace(const trace::TraceConfig& t) { cfg_.trace = t; return *this; }
+    Builder& cleanOptimization(bool on)
+    {
+        cfg_.cleanOptimization = on;
+        return *this;
+    }
+    Builder& preemptOpsPerTick(std::uint64_t ops)
+    {
+        cfg_.preemptOpsPerTick = ops;
+        return *this;
+    }
+    Builder& shadowRetention(bool on)
+    {
+        cfg_.shadowRetention = on;
+        return *this;
+    }
+    Builder& victimCacheEntries(std::size_t n)
+    {
+        cfg_.victimCacheEntries = n;
+        return *this;
+    }
+    Builder& auditLogEntries(std::size_t n)
+    {
+        cfg_.auditLogEntries = n;
+        return *this;
+    }
+
+    /** Validate and return the config; throws std::invalid_argument. */
+    SystemConfig build() const;
+
+  private:
+    SystemConfig cfg_;
 };
 
 /** Final state of an exited process. */

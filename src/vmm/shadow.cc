@@ -16,9 +16,9 @@ ShadowManager::lookup(const Context& ctx, GuestVA va_page) const
     if (sit == shadows_.end())
         return std::nullopt;
     auto eit = sit->second.find(va_page);
-    if (eit == sit->second.end())
+    if (eit == sit->second.end() || eit->second.suspended)
         return std::nullopt;
-    return eit->second;
+    return eit->second.entry;
 }
 
 void
@@ -29,11 +29,30 @@ ShadowManager::install(const Context& ctx, GuestVA va_page,
     PageMap& pm = shadows_[ctx];
     auto old = pm.find(va_page);
     if (old != pm.end())
-        dropFromReverse(old->second.mpa, ctx, va_page);
-    pm[va_page] = entry;
+        dropFromReverse(old->second.entry.mpa, ctx, va_page);
+    pm[va_page] = Slot{entry, false};
     reverse_[entry.mpa].push_back({ctx, va_page});
     stats_.counter("installs").inc();
     OSH_TRACE_COUNT(tracer_, trace::Category::Shadow, "fills");
+}
+
+bool
+ShadowManager::reactivate(const Context& ctx, GuestVA va_page,
+                          const ShadowEntry& entry)
+{
+    auto sit = shadows_.find(ctx);
+    if (sit == shadows_.end())
+        return false;
+    auto eit = sit->second.find(va_page);
+    if (eit == sit->second.end() || !eit->second.suspended ||
+        eit->second.entry.mpa != entry.mpa) {
+        return false;
+    }
+    eit->second.entry = entry;
+    eit->second.suspended = false;
+    stats_.counter("reactivations").inc();
+    OSH_TRACE_COUNT(tracer_, trace::Category::Shadow, "reactivations");
+    return true;
 }
 
 void
@@ -55,19 +74,6 @@ ShadowManager::dropFromReverse(Mpa frame_base, const Context& ctx,
 }
 
 void
-ShadowManager::dropEntry(const Context& ctx, GuestVA va_page)
-{
-    auto sit = shadows_.find(ctx);
-    if (sit == shadows_.end())
-        return;
-    auto eit = sit->second.find(va_page);
-    if (eit == sit->second.end())
-        return;
-    dropFromReverse(eit->second.mpa, ctx, va_page);
-    sit->second.erase(eit);
-}
-
-void
 ShadowManager::invalidateVa(Asid asid, GuestVA va_page)
 {
     va_page = pageBase(va_page);
@@ -76,7 +82,7 @@ ShadowManager::invalidateVa(Asid asid, GuestVA va_page)
             continue;
         auto eit = pm.find(va_page);
         if (eit != pm.end()) {
-            dropFromReverse(eit->second.mpa, ctx, va_page);
+            dropFromReverse(eit->second.entry.mpa, ctx, va_page);
             pm.erase(eit);
             stats_.counter("va_invalidations").inc();
             OSH_TRACE_COUNT(tracer_, trace::Category::Shadow,
@@ -91,8 +97,8 @@ ShadowManager::invalidateAsid(Asid asid)
     for (auto& [ctx, pm] : shadows_) {
         if (ctx.asid != asid)
             continue;
-        for (auto& [va, entry] : pm)
-            dropFromReverse(entry.mpa, ctx, va);
+        for (auto& [va, slot] : pm)
+            dropFromReverse(slot.entry.mpa, ctx, va);
         pm.clear();
     }
     stats_.counter("asid_invalidations").inc();
@@ -106,7 +112,7 @@ ShadowManager::invalidateMpa(Mpa frame_base)
     auto rit = reverse_.find(frame_base);
     if (rit == reverse_.end())
         return;
-    // Move out the mapping list; dropEntry edits reverse_.
+    // Move out the mapping list; we edit reverse_ via erase below.
     std::vector<Mapping> mappings = std::move(rit->second);
     reverse_.erase(rit);
     for (const Mapping& m : mappings) {
@@ -118,6 +124,24 @@ ShadowManager::invalidateMpa(Mpa frame_base)
     stats_.counter("mpa_invalidations").inc();
     OSH_TRACE_COUNT(tracer_, trace::Category::Shadow,
                     "mpa_invalidations");
+}
+
+void
+ShadowManager::suspendMpa(Mpa frame_base)
+{
+    auto rit = reverse_.find(frame_base);
+    if (rit == reverse_.end())
+        return;
+    for (const Mapping& m : rit->second) {
+        auto sit = shadows_.find(m.ctx);
+        if (sit == shadows_.end())
+            continue;
+        auto eit = sit->second.find(m.vaPage);
+        if (eit != sit->second.end())
+            eit->second.suspended = true;
+    }
+    stats_.counter("mpa_suspends").inc();
+    OSH_TRACE_COUNT(tracer_, trace::Category::Shadow, "mpa_suspends");
 }
 
 void
@@ -134,8 +158,40 @@ std::size_t
 ShadowManager::entryCount() const
 {
     std::size_t n = 0;
-    for (const auto& [ctx, pm] : shadows_)
-        n += pm.size();
+    for (const auto& [ctx, pm] : shadows_) {
+        for (const auto& [va, slot] : pm) {
+            if (!slot.suspended)
+                ++n;
+        }
+    }
+    return n;
+}
+
+std::size_t
+ShadowManager::suspendedCount() const
+{
+    std::size_t n = 0;
+    for (const auto& [ctx, pm] : shadows_) {
+        for (const auto& [va, slot] : pm) {
+            if (slot.suspended)
+                ++n;
+        }
+    }
+    return n;
+}
+
+std::size_t
+ShadowManager::entryCount(Asid asid) const
+{
+    std::size_t n = 0;
+    for (const auto& [ctx, pm] : shadows_) {
+        if (ctx.asid != asid)
+            continue;
+        for (const auto& [va, slot] : pm) {
+            if (!slot.suspended)
+                ++n;
+        }
+    }
     return n;
 }
 

@@ -1,6 +1,6 @@
 /**
  * @file
- * Multi-shadow page tables.
+ * Multi-shadow page tables with ASID-tagged retention.
  *
  * A classical VMM keeps one shadow page table per guest address space,
  * caching the composition guest-virtual -> guest-physical -> machine.
@@ -10,6 +10,17 @@
  * everything else. This module manages the shadows plus the reverse
  * index needed to invalidate every mapping of a machine frame when the
  * cloak engine flips its state.
+ *
+ * Retention: a cloaking-state flip does not change the translation of
+ * a page, only who may currently use it. suspendMpa() therefore keeps
+ * the affected entries resident in a *suspended* state (invisible to
+ * lookup) instead of erasing them; when the same context next resolves
+ * the same page to the same frame, reactivate() restores the entry for
+ * a fraction of a full shadow fill. Entries are erased outright only
+ * when the translation itself dies — guest PTE change (invalidateVa),
+ * address-space teardown (invalidateAsid), or frame reuse
+ * (invalidateMpa) — so a process resuming its own view after a switch
+ * never inherits stale mappings.
  */
 
 #ifndef OSH_VMM_SHADOW_HH
@@ -41,13 +52,24 @@ class ShadowManager
   public:
     ShadowManager();
 
-    /** Look up a cached translation; nullopt on shadow miss. */
+    /** Look up a cached translation; nullopt on shadow miss or when the
+     *  entry is suspended (a cloak transition parked it). */
     std::optional<ShadowEntry> lookup(const Context& ctx,
                                       GuestVA va_page) const;
 
     /** Install (or replace) a shadow entry. */
     void install(const Context& ctx, GuestVA va_page,
                  const ShadowEntry& entry);
+
+    /**
+     * Retention fast path: if a *suspended* entry exists for
+     * (ctx, va_page) and still maps @p entry.mpa, reactivate it with
+     * the new permissions and return true. The caller then charges the
+     * (cheap) revalidation cost instead of a full shadow fill. Returns
+     * false when there is nothing to reactivate.
+     */
+    bool reactivate(const Context& ctx, GuestVA va_page,
+                    const ShadowEntry& entry);
 
     /** Drop one VA translation in every view of one address space. */
     void invalidateVa(Asid asid, GuestVA va_page);
@@ -57,16 +79,29 @@ class ShadowManager
 
     /**
      * Drop every shadow entry, in any context, that maps the given
-     * machine frame. Called by the cloak engine whenever a page changes
-     * cloaking state, so no context retains a stale view.
+     * machine frame. For frame reuse / scrubbing: the translations are
+     * genuinely dead, so nothing is retained.
      */
     void invalidateMpa(Mpa frame_base);
 
-    /** Drop everything. */
+    /**
+     * Suspend every shadow entry mapping the given machine frame: the
+     * frame changed cloaking state, so no context may keep *using* its
+     * mapping, but the translations stay resident for reactivate().
+     */
+    void suspendMpa(Mpa frame_base);
+
+    /** Drop everything (active and suspended). */
     void invalidateAll();
 
-    /** Number of live shadow entries (for tests / stats). */
+    /** Number of live (active) shadow entries (for tests / stats). */
     std::size_t entryCount() const;
+
+    /** Number of suspended (retained) entries. */
+    std::size_t suspendedCount() const;
+
+    /** Active entries belonging to one address space (tests). */
+    std::size_t entryCount(Asid asid) const;
 
     /** Attach the machine tracer (the owning Vmm wires this). */
     void setTracer(trace::Tracer* tracer) { tracer_ = tracer; }
@@ -74,7 +109,14 @@ class ShadowManager
     StatGroup& stats() { return stats_; }
 
   private:
-    using PageMap = std::unordered_map<GuestVA, ShadowEntry>;
+    /** A shadow slot: the translation plus its retention state. */
+    struct Slot
+    {
+        ShadowEntry entry;
+        bool suspended = false;
+    };
+
+    using PageMap = std::unordered_map<GuestVA, Slot>;
 
     struct Mapping
     {
@@ -82,12 +124,12 @@ class ShadowManager
         GuestVA vaPage;
     };
 
-    void dropEntry(const Context& ctx, GuestVA va_page);
     void dropFromReverse(Mpa frame_base, const Context& ctx,
                          GuestVA va_page);
 
     std::unordered_map<Context, PageMap> shadows_;
-    /** Reverse index: machine frame -> all shadow entries mapping it. */
+    /** Reverse index: machine frame -> all slots (active or suspended)
+     *  mapping it. */
     std::unordered_map<Mpa, std::vector<Mapping>> reverse_;
     StatGroup stats_;
     trace::Tracer* tracer_ = nullptr;

@@ -136,9 +136,18 @@ Vmm::resolve(Vcpu& vcpu, const Context& ctx, GuestVA va_page,
         entry.mpa = pageBase(page.mpa);
         entry.canRead = page.canRead;
         entry.canWrite = page.canWrite;
-        shadows_.install(ctx, va_page, entry);
+        // Retention fast path: a suspended entry that still maps the
+        // same frame is revalidated in place for a fraction of a full
+        // shadow-page-table fill.
+        if (shadows_.reactivate(ctx, va_page, entry)) {
+            stats_.counter("retention_hits").inc();
+            machine_.cost().charge(costs.shadowRevalidate,
+                                   "shadow_revalidate");
+        } else {
+            shadows_.install(ctx, va_page, entry);
+            machine_.cost().charge(costs.shadowFill, "shadow_fill");
+        }
         tlb_.insert(ctx, va_page, entry);
-        machine_.cost().charge(costs.shadowFill, "shadow_fill");
         machine_.cost().charge(costs.vmResume);
         return entry;
     }
@@ -170,6 +179,37 @@ Vmm::invalidateMpa(Mpa frame_base)
     tlb_.invalidateMpa(pageBase(frame_base));
     machine_.cost().charge(machine_.cost().params().tlbFlush,
                            "mpa_invalidate");
+}
+
+void
+Vmm::suspendMpa(Mpa frame_base)
+{
+    if (!shadowRetention_) {
+        invalidateMpa(frame_base);
+        return;
+    }
+    shadows_.suspendMpa(pageBase(frame_base));
+    // Hardware TLBs have no suspended state: entries granting access to
+    // the old view must be shot down either way.
+    tlb_.invalidateMpa(pageBase(frame_base));
+    machine_.cost().charge(machine_.cost().params().tlbFlush,
+                           "mpa_suspend");
+}
+
+void
+Vmm::onContextSwitch()
+{
+    if (shadowRetention_) {
+        stats_.counter("switches_retained").inc();
+        return;
+    }
+    // Untagged shadow cache: a CR3 write wipes everything, and every
+    // resumed process rebuilds its shadows one hidden fault at a time.
+    shadows_.invalidateAll();
+    tlb_.flushAll();
+    machine_.cost().charge(machine_.cost().params().tlbFlush,
+                           "switch_flush");
+    stats_.counter("switch_flushes").inc();
 }
 
 std::int64_t

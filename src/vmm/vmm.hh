@@ -77,6 +77,27 @@ class Vmm
      */
     void invalidateMpa(Mpa frame_base);
 
+    /**
+     * Cloaking-state flip on a frame whose translations remain valid:
+     * suspend (retain) the shadow entries and shoot down the TLB. With
+     * shadow retention disabled (ablation) this degrades to a full
+     * invalidateMpa, modelling a VMM that rebuilds shadows from scratch.
+     */
+    void suspendMpa(Mpa frame_base);
+
+    /**
+     * A guest context switch happened (CR3 write / world switch). With
+     * ASID-tagged retention (the default) shadows and TLB entries stay
+     * live — resuming a process costs nothing here. With retention
+     * disabled, every cached translation is flushed, modelling a VMM
+     * whose shadow cache is not tagged by address space.
+     */
+    void onContextSwitch();
+
+    /** Enable/disable ASID-tagged shadow retention (ablation knob). */
+    void setShadowRetention(bool on) { shadowRetention_ = on; }
+    bool shadowRetention() const { return shadowRetention_; }
+
     /** Dispatch a hypercall from an application to the cloak backend. */
     std::int64_t hypercall(Vcpu& vcpu, Hypercall num,
                            std::span<const std::uint64_t> args);
@@ -94,6 +115,7 @@ class Vmm
     std::unique_ptr<CloakBackend> passthrough_;
     CloakBackend* cloak_;
     GuestOsHooks* os_ = nullptr;
+    bool shadowRetention_ = true;
     StatGroup stats_;
 };
 

@@ -338,27 +338,41 @@ TEST_F(EngineTest, CtcHashRoundTrip)
     crypto::Digest h = crypto::Sha256::hash(
         std::vector<std::uint8_t>{1, 2, 3});
     engine_.bindCtc(domain_, 0x7000);
-    EXPECT_FALSE(engine_.verifyCtcHash(domain_, h));
+    auto before = engine_.verifyCtcHash(domain_, h);
+    ASSERT_FALSE(before.ok());
+    EXPECT_EQ(before.error(), cloak::CloakError::NoCtcHash);
     engine_.recordCtcHash(domain_, h);
-    EXPECT_TRUE(engine_.verifyCtcHash(domain_, h));
+    EXPECT_TRUE(engine_.verifyCtcHash(domain_, h).ok());
     crypto::Digest wrong = crypto::Sha256::hash(
         std::vector<std::uint8_t>{1, 2, 4});
-    EXPECT_FALSE(engine_.verifyCtcHash(domain_, wrong));
+    auto mismatch = engine_.verifyCtcHash(domain_, wrong);
+    ASSERT_FALSE(mismatch.ok());
+    EXPECT_EQ(mismatch.error(), cloak::CloakError::CtcHashMismatch);
+    // Both rejections were audited with their typed reason.
+    EXPECT_EQ(engine_.auditLog().back().code,
+              cloak::CloakError::CtcHashMismatch);
 }
 
 TEST_F(EngineTest, ForkAttachRequiresToken)
 {
-    EXPECT_EQ(engine_.forkAttach(9, 9, 0xdead), systemDomain);
-    std::uint64_t token = engine_.prepareFork(domain_);
+    auto bogus = engine_.forkAttach(9, 9, 0xdead);
+    ASSERT_FALSE(bogus.ok());
+    EXPECT_EQ(bogus.error(), cloak::CloakError::BadForkToken);
+    std::uint64_t token = engine_.prepareFork(domain_).value();
     // Attach before the snapshot is refused.
-    EXPECT_EQ(engine_.forkAttach(9, 9, token), systemDomain);
-    ASSERT_EQ(engine_.snapshotFork(domain_, token), 0);
+    auto early = engine_.forkAttach(9, 9, token);
+    ASSERT_FALSE(early.ok());
+    EXPECT_EQ(early.error(), cloak::CloakError::ForkNotSnapshotted);
+    ASSERT_TRUE(engine_.snapshotFork(domain_, token).ok());
     // Snapshots are single use too.
-    EXPECT_EQ(engine_.snapshotFork(domain_, token), -1);
-    DomainId child = engine_.forkAttach(9, 9, token);
+    auto again = engine_.snapshotFork(domain_, token);
+    ASSERT_FALSE(again.ok());
+    EXPECT_EQ(again.error(),
+              cloak::CloakError::ForkAlreadySnapshotted);
+    DomainId child = engine_.forkAttach(9, 9, token).value();
     EXPECT_NE(child, systemDomain);
     // Tokens are single use.
-    EXPECT_EQ(engine_.forkAttach(10, 10, token), systemDomain);
+    EXPECT_FALSE(engine_.forkAttach(10, 10, token).ok());
     // Child inherits the identity.
     EXPECT_EQ(engine_.findDomain(child)->identity,
               programIdentity("victim"));
@@ -366,11 +380,13 @@ TEST_F(EngineTest, ForkAttachRequiresToken)
 
 TEST_F(EngineTest, ForkSnapshotRequiresOwningDomain)
 {
-    std::uint64_t token = engine_.prepareFork(domain_);
+    std::uint64_t token = engine_.prepareFork(domain_).value();
     DomainId other = engine_.createDomain(12, 12,
                                           programIdentity("other"));
-    EXPECT_EQ(engine_.snapshotFork(other, token), -1);
-    EXPECT_EQ(engine_.snapshotFork(domain_, token), 0);
+    auto foreign = engine_.snapshotFork(other, token);
+    ASSERT_FALSE(foreign.ok());
+    EXPECT_EQ(foreign.error(), cloak::CloakError::BadForkToken);
+    EXPECT_TRUE(engine_.snapshotFork(domain_, token).ok());
 }
 
 TEST_F(EngineTest, ForkedChildDecryptsInheritedPages)
@@ -385,8 +401,8 @@ TEST_F(EngineTest, ForkedChildDecryptsInheritedPages)
     constexpr Gpa childGpa = 0xb000;
     machine_.memory().write(vmm_.pmap().translate(childGpa), cipher);
 
-    std::uint64_t token = engine_.prepareFork(domain_);
-    ASSERT_EQ(engine_.snapshotFork(domain_, token), 0);
+    std::uint64_t token = engine_.prepareFork(domain_).value();
+    ASSERT_TRUE(engine_.snapshotFork(domain_, token).ok());
 
     // The parent may keep running and re-encrypt its own pages after
     // the snapshot without invalidating the child's copies.
@@ -394,7 +410,7 @@ TEST_F(EngineTest, ForkedChildDecryptsInheritedPages)
     kernel.load64(kernelVaOf(gpa));    // fresh IV + version bump
 
     constexpr Asid childAsid = 9;
-    DomainId child = engine_.forkAttach(childAsid, 9, token);
+    DomainId child = engine_.forkAttach(childAsid, 9, token).value();
     ASSERT_NE(child, systemDomain);
     os_.map(childAsid, appVa, childGpa);
 
