@@ -17,6 +17,7 @@
 #include "trace/export.hh"
 #include "workloads/workloads.hh"
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
@@ -40,6 +41,27 @@ tracingRequested()
 #else
     return false;
 #endif
+}
+
+/**
+ * Monotonic host wall-clock in nanoseconds. Host time measures how
+ * fast the simulator itself runs (real crypto throughput on this
+ * machine); it is never part of the gated simulated-cycle metrics.
+ */
+inline std::uint64_t
+hostNowNs()
+{
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+/** Whole MB/s (1 MB = 10^6 bytes) for `bytes` processed in `ns`. */
+inline std::uint64_t
+mbPerSec(std::uint64_t bytes, std::uint64_t ns)
+{
+    return ns == 0 ? 0 : bytes * 1000 / ns;
 }
 
 /** Knobs a bench varies when building systems. */
@@ -146,8 +168,11 @@ header(const char* title)
  * The file holds one flat `metrics` object of integer values: total
  * cycles, per-operation cycle costs, fault/crypto-op counters, and —
  * when tracing is on — p50/p95 latencies from the trace histograms.
- * Every value is a deterministic simulated quantity: two runs of the
- * same binary with the same seed produce byte-identical metrics.
+ * Every such value is a deterministic simulated quantity: two runs of
+ * the same binary with the same seed produce byte-identical metrics.
+ * Keys starting with `host_` (see setHost) are the exception: they
+ * carry host wall-time observations, are reported but never gated by
+ * compare.py, and do not belong in committed baselines.
  */
 class BenchReport
 {
@@ -159,6 +184,19 @@ class BenchReport
     set(const std::string& key, std::uint64_t value)
     {
         metrics_.emplace_back(key, value);
+    }
+
+    /**
+     * Record a host wall-time metric (nanoseconds, MB/s, speedup
+     * ratios). Host metrics carry a `host_` key prefix:
+     * bench/compare.py reports their deltas but never gates on them,
+     * and committed baselines leave them out — wall time is a property
+     * of the machine the bench ran on, not of the simulation.
+     */
+    void
+    setHost(const std::string& key, std::uint64_t value)
+    {
+        set("host_" + key, value);
     }
 
     /** Record every counter of a StatGroup under `prefix.group.name`. */

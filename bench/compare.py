@@ -12,6 +12,12 @@ script prints the offending rows and exits 1. Non-cycle counters
 (faults, crypto ops, cache hits) are informational by default — they
 describe *why* cycles moved — unless --all gates them too.
 
+Keys starting with "host_" are host wall-time observations (ns, MB/s,
+speedup ratios): they depend on the machine the bench ran on, so they
+are shown in their own informational section, never gated — even with
+--all — and never produce missing/new warnings (baselines deliberately
+omit them).
+
 Keys present in only one file are reported as warnings, never errors:
 adding a metric must not break CI, and a renamed metric shows up as
 one "missing" plus one "new" line, which is the reviewer's cue to
@@ -23,9 +29,14 @@ import json
 import sys
 
 
+def is_host(key: str) -> bool:
+    """Host wall-time metrics: informational on any machine."""
+    return key.startswith("host_")
+
+
 def is_gated(key: str) -> bool:
     """Cycle-like metrics that constitute a perf regression."""
-    return (
+    return not is_host(key) and (
         key.endswith("cycles")
         or ".op." in key
         or key.endswith(".p50")
@@ -66,13 +77,16 @@ def main() -> int:
     regressions = []
     improvements = []
     drifts = []
+    host_deltas = []
     for key in sorted(base.keys() & cur.keys()):
         b, c = base[key], cur[key]
         if b == c:
             continue
         delta = (c - b) / b if b else float("inf")
         row = (key, b, c, delta)
-        if args.all or is_gated(key):
+        if is_host(key):
+            host_deltas.append(row)
+        elif args.all or is_gated(key):
             if c > b * (1.0 + args.tolerance):
                 regressions.append(row)
             elif c < b:
@@ -80,8 +94,8 @@ def main() -> int:
         else:
             drifts.append(row)
 
-    missing = sorted(base.keys() - cur.keys())
-    new = sorted(cur.keys() - base.keys())
+    missing = sorted(k for k in base.keys() - cur.keys() if not is_host(k))
+    new = sorted(k for k in cur.keys() - base.keys() if not is_host(k))
 
     def show(rows, label):
         if not rows:
@@ -93,13 +107,16 @@ def main() -> int:
     show(regressions, "REGRESSIONS (beyond tolerance)")
     show(improvements, "improvements")
     show(drifts, "counter drift (informational)")
+    show(host_deltas, "host-time deltas (informational, never gated)")
     for key in missing:
         print(f"warning: metric missing from current run: {key}")
     for key in new:
         print(f"warning: new metric not in baseline: {key}")
 
     n_checked = sum(
-        1 for k in base.keys() & cur.keys() if args.all or is_gated(k)
+        1
+        for k in base.keys() & cur.keys()
+        if not is_host(k) and (args.all or is_gated(k))
     )
     if regressions:
         print(

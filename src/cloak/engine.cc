@@ -145,13 +145,20 @@ void
 CloakEngine::encryptPage(Resource& res, std::uint64_t page_index,
                          PageMeta& meta)
 {
+    encryptPageWith(res, page_index, meta, keys_.pageCipher(res.keyId));
+}
+
+void
+CloakEngine::encryptPageWith(Resource& res, std::uint64_t page_index,
+                             PageMeta& meta,
+                             const crypto::Aes128& cipher)
+{
     osh_assert(meta.state != PageState::Encrypted,
                "encryptPage on already-encrypted page");
     osh_assert(meta.residentGpa != badAddr, "no resident plaintext");
     Gpa gpa = meta.residentGpa;
     auto frame = frameBytes(gpa);
     auto& cost = vmm_.machine().cost();
-    const crypto::Aes128& cipher = keys_.pageCipher(res.keyId);
 
     if (meta.state == PageState::PlaintextDirty || !cleanOptimization_ ||
         meta.version == 0) {
@@ -239,6 +246,15 @@ void
 CloakEngine::decryptAndVerify(Resource& res, std::uint64_t page_index,
                               PageMeta& meta, Gpa gpa)
 {
+    decryptAndVerifyWith(res, page_index, meta, gpa,
+                         keys_.pageCipher(res.keyId));
+}
+
+void
+CloakEngine::decryptAndVerifyWith(Resource& res, std::uint64_t page_index,
+                                  PageMeta& meta, Gpa gpa,
+                                  const crypto::Aes128& cipher)
+{
     OSH_TRACE_SCOPE(&vmm_.machine().tracer(), trace::Category::Cloak,
                     "page_decrypt", res.domain, 0, res.id, page_index);
     auto frame = frameBytes(gpa);
@@ -293,11 +309,97 @@ CloakEngine::decryptAndVerify(Resource& res, std::uint64_t page_index,
         v->hash = meta.hash;
         std::memcpy(v->ciphertext.data(), frame.data(), frame.size());
     }
-    const crypto::Aes128& cipher = keys_.pageCipher(res.keyId);
     crypto::aesCtrXcryptInPlace(cipher, meta.iv, frame);
     if (v != nullptr)
         std::memcpy(v->plaintext.data(), frame.data(), frame.size());
     stats_.counter("page_decrypts").inc();
+}
+
+// ---------------------------------------------------------------------------
+// Batched page crypto
+// ---------------------------------------------------------------------------
+
+void
+CloakEngine::encryptPages(Resource& res,
+                          std::span<const PageCryptoItem> items)
+{
+    if (items.empty())
+        return;
+    // Amortized across the batch: one cipher (key schedule) lookup and
+    // one enclosing trace/audit scope. The per-page work — metadata
+    // updates, victim-cache fills, cycle charges — is byte-for-byte
+    // the sequential loop, so batching never changes simulated cost.
+    const crypto::Aes128& cipher = keys_.pageCipher(res.keyId);
+    OSH_TRACE_SCOPE(&vmm_.machine().tracer(), trace::Category::Cloak,
+                    "encrypt_batch", res.domain, 0, res.id,
+                    items.size());
+    for (const PageCryptoItem& item : items)
+        encryptPageWith(res, item.pageIndex, *item.meta, cipher);
+    stats_.counter("batch_encrypt_calls").inc();
+    stats_.counter("batch_encrypt_pages").inc(items.size());
+}
+
+void
+CloakEngine::decryptPages(Resource& res,
+                          std::span<const PageCryptoItem> items)
+{
+    if (items.empty())
+        return;
+    const crypto::Aes128& cipher = keys_.pageCipher(res.keyId);
+    OSH_TRACE_SCOPE(&vmm_.machine().tracer(), trace::Category::Cloak,
+                    "decrypt_batch", res.domain, 0, res.id,
+                    items.size());
+    for (const PageCryptoItem& item : items) {
+        decryptAndVerifyWith(res, item.pageIndex, *item.meta, item.gpa,
+                             cipher);
+        // Same post-decrypt bookkeeping as a read resolution: the page
+        // is plaintext-clean (dirty when the clean optimization is off,
+        // so the stored IV/hash are never reused) and resident, and its
+        // shadows are suspended so the next access revalidates.
+        item.meta->state = cleanOptimization_
+                               ? PageState::PlaintextClean
+                               : PageState::PlaintextDirty;
+        item.meta->residentGpa = item.gpa;
+        plaintextIndex_[item.gpa] = {res.id, item.pageIndex};
+        vmm_.suspendMpa(vmm_.pmap().translate(item.gpa));
+    }
+    stats_.counter("batch_decrypt_calls").inc();
+    stats_.counter("batch_decrypt_pages").inc(items.size());
+}
+
+std::size_t
+CloakEngine::sealPlaintextFrames(std::span<const Gpa> gpas)
+{
+    // Group the resident plaintext frames by owning resource so each
+    // resource's pages go through one encryptPages() batch. Frames not
+    // holding cloaked plaintext are skipped — the hint is always safe.
+    std::map<ResourceId, std::vector<PageCryptoItem>> work;
+    for (Gpa gpa : gpas) {
+        auto pit = plaintextIndex_.find(pageBase(gpa));
+        if (pit == plaintextIndex_.end())
+            continue;
+        Resource* res = metadata_.find(pit->second.resource);
+        if (res == nullptr) {
+            plaintextIndex_.erase(pit);
+            continue;
+        }
+        PageMeta& meta = metadata_.page(*res, pit->second.pageIndex);
+        if (meta.state == PageState::Encrypted)
+            continue;
+        work[res->id].push_back(
+            {pit->second.pageIndex, &meta, pageBase(gpa)});
+    }
+    std::size_t sealed = 0;
+    for (auto& [resource, items] : work) {
+        Resource* res = metadata_.find(resource);
+        if (res == nullptr)
+            continue;
+        encryptPages(*res, items);
+        sealed += items.size();
+    }
+    if (sealed > 0)
+        stats_.counter("preseal_frames").inc(sealed);
+    return sealed;
 }
 
 vmm::ResolvedPage
@@ -529,12 +631,12 @@ CloakEngine::unregisterRegion(DomainId domain, GuestVA start)
             // data must survive (file resource, or still mapped
             // elsewhere) encrypt it in place; if the resource dies with
             // the region, zeroing is sufficient — and much cheaper.
-            for (auto& [idx, meta] : res->pages) {
-                if (meta.state == PageState::Encrypted ||
-                    meta.residentGpa == badAddr) {
-                    continue;
-                }
-                if (dying) {
+            if (dying) {
+                for (auto& [idx, meta] : res->pages) {
+                    if (meta.state == PageState::Encrypted ||
+                        meta.residentGpa == badAddr) {
+                        continue;
+                    }
                     auto pit = plaintextIndex_.find(meta.residentGpa);
                     if (pit != plaintextIndex_.end() &&
                         pit->second.resource == res->id &&
@@ -550,9 +652,17 @@ CloakEngine::unregisterRegion(DomainId domain, GuestVA start)
                     }
                     meta.state = PageState::Encrypted;
                     meta.residentGpa = badAddr;
-                } else {
-                    encryptPage(*res, idx, meta);
                 }
+            } else {
+                std::vector<PageCryptoItem> to_seal;
+                for (auto& [idx, meta] : res->pages) {
+                    if (meta.state != PageState::Encrypted &&
+                        meta.residentGpa != badAddr) {
+                        to_seal.push_back({idx, &meta,
+                                           meta.residentGpa});
+                    }
+                }
+                encryptPages(*res, to_seal);
             }
             if (dying)
                 metadata_.destroyResource(it->resource);
@@ -711,7 +821,7 @@ CloakEngine::attachFileResource(DomainId domain, std::uint64_t file_key)
 
     auto sit = sealedStore_.find(file_key);
     if (sit != sealedStore_.end()) {
-        crypto::Digest seal_key = keys_.sealingKey(res.keyId);
+        const crypto::HmacKey& seal_key = keys_.sealingHmacKey(res.keyId);
         if (!metadata_.unseal(sit->second, seal_key, d.identity, res)) {
             stats_.counter("file_attach_rejected").inc();
             ResourceId dead = res.id;
@@ -736,16 +846,17 @@ CloakEngine::sealFileResource(DomainId domain, ResourceId resource)
         return auditError(CloakError::NotAFileResource, domain,
                           resource);
     // Hashes must cover final contents: force-encrypt anything still
-    // plaintext.
+    // plaintext, as one batch.
+    std::vector<PageCryptoItem> to_seal;
     for (auto& [idx, meta] : res->pages) {
         if (meta.state != PageState::Encrypted &&
             meta.residentGpa != badAddr) {
-            encryptPage(*res, idx, meta);
+            to_seal.push_back({idx, &meta, meta.residentGpa});
         }
     }
-    crypto::Digest seal_key = keys_.sealingKey(res->keyId);
-    sealedStore_[res->fileKey] = metadata_.seal(*res, seal_key,
-                                                d.identity);
+    encryptPages(*res, to_seal);
+    sealedStore_[res->fileKey] = metadata_.seal(
+        *res, keys_.sealingHmacKey(res->keyId), d.identity);
     stats_.counter("file_seals").inc();
     return {};
 }

@@ -282,6 +282,18 @@ class VictimCache
     std::unordered_map<Key, std::list<Entry>::iterator, KeyHash> index_;
 };
 
+/**
+ * One unit of work for the batched page-crypto API: a page of a
+ * resource plus its (already looked-up) metadata. For decryption the
+ * gpa names the frame holding the ciphertext image.
+ */
+struct PageCryptoItem
+{
+    std::uint64_t pageIndex = 0;
+    PageMeta* meta = nullptr;
+    Gpa gpa = badAddr;
+};
+
 /** The Overshadow cloak engine. */
 class CloakEngine : public vmm::CloakBackend
 {
@@ -301,6 +313,31 @@ class CloakEngine : public vmm::CloakBackend
                                   vmm::AccessType access) override;
     std::int64_t hypercall(vmm::Vcpu& vcpu, vmm::Hypercall num,
                            std::span<const std::uint64_t> args) override;
+    std::size_t sealPlaintextFrames(std::span<const Gpa> gpas) override;
+
+    // Batched page crypto -------------------------------------------------
+
+    /**
+     * Encrypt every listed plaintext page of @p res in place, exactly
+     * as a sequential loop of per-page encryptions would — same bytes,
+     * same metadata updates, same simulated-cycle charges — but with
+     * the cipher looked up once and one enclosing trace scope for the
+     * whole batch. Pages already encrypted are the caller's bug (same
+     * contract as the single-page path).
+     */
+    void encryptPages(Resource& res, std::span<const PageCryptoItem> items);
+
+    /**
+     * Decrypt + verify every listed ciphertext page of @p res in
+     * place. Each item's gpa names the frame holding its image; after
+     * the call the page is plaintext-clean and resident there, with
+     * the plaintext index updated and its shadows suspended — the same
+     * end state a per-page read resolution leaves. Items are processed
+     * in order; an integrity violation on any page kills the process
+     * mid-batch (pages before it are already plaintext, exactly as the
+     * sequential loop would leave them).
+     */
+    void decryptPages(Resource& res, std::span<const PageCryptoItem> items);
 
     // Trusted runtime services (modelling VMM<->shim cooperation) ---------
 
@@ -386,9 +423,19 @@ class CloakEngine : public vmm::CloakBackend
     void encryptPage(Resource& res, std::uint64_t page_index,
                      PageMeta& meta);
 
+    /** encryptPage with the per-resource cipher already looked up
+     *  (the batch path hoists the lookup out of its loop). */
+    void encryptPageWith(Resource& res, std::uint64_t page_index,
+                         PageMeta& meta, const crypto::Aes128& cipher);
+
     /** Decrypt + verify the page image in @p gpa; throws on mismatch. */
     void decryptAndVerify(Resource& res, std::uint64_t page_index,
                           PageMeta& meta, Gpa gpa);
+
+    /** decryptAndVerify with the cipher already looked up. */
+    void decryptAndVerifyWith(Resource& res, std::uint64_t page_index,
+                              PageMeta& meta, Gpa gpa,
+                              const crypto::Aes128& cipher);
 
     /** Integrity hash of a ciphertext page bound to its identity. */
     crypto::Digest pageHash(const Resource& res, std::uint64_t page_index,

@@ -128,6 +128,13 @@ std::vector<std::uint8_t>
 MetadataStore::seal(const Resource& res, const crypto::Digest& seal_key,
                     const crypto::Digest& owner_identity)
 {
+    return seal(res, crypto::HmacKey(seal_key), owner_identity);
+}
+
+std::vector<std::uint8_t>
+MetadataStore::seal(const Resource& res, const crypto::HmacKey& seal_key,
+                    const crypto::Digest& owner_identity)
+{
     std::uint64_t version = ++sealVersions_[res.fileKey];
 
     std::vector<std::uint8_t> out;
@@ -158,6 +165,14 @@ MetadataStore::seal(const Resource& res, const crypto::Digest& seal_key,
 bool
 MetadataStore::unseal(std::span<const std::uint8_t> bundle,
                       const crypto::Digest& seal_key,
+                      const crypto::Digest& owner_identity, Resource& dst)
+{
+    return unseal(bundle, crypto::HmacKey(seal_key), owner_identity, dst);
+}
+
+bool
+MetadataStore::unseal(std::span<const std::uint8_t> bundle,
+                      const crypto::HmacKey& seal_key,
                       const crypto::Digest& owner_identity, Resource& dst)
 {
     constexpr std::size_t mac_size = crypto::sha256DigestSize;

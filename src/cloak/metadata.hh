@@ -20,6 +20,7 @@
 #include "base/stats.hh"
 #include "base/types.hh"
 #include "crypto/ctr.hh"
+#include "crypto/hmac.hh"
 #include "crypto/sha256.hh"
 #include "sim/cost_model.hh"
 
@@ -110,8 +111,13 @@ class MetadataStore
     /**
      * Serialize a resource's metadata and seal it with HMAC under
      * @p seal_key, binding @p owner_identity. The bundle version is one
-     * greater than any previous seal of the same file key.
+     * greater than any previous seal of the same file key. The HmacKey
+     * overload reuses a prepared key midstate; the Digest overload is
+     * kept for callers holding raw key bytes.
      */
+    std::vector<std::uint8_t> seal(const Resource& res,
+                                   const crypto::HmacKey& seal_key,
+                                   const crypto::Digest& owner_identity);
     std::vector<std::uint8_t> seal(const Resource& res,
                                    const crypto::Digest& seal_key,
                                    const crypto::Digest& owner_identity);
@@ -120,6 +126,9 @@ class MetadataStore
      * Verify and import a sealed bundle into @p dst. Fails (false) on a
      * bad MAC, an identity mismatch, or a rolled-back bundle version.
      */
+    bool unseal(std::span<const std::uint8_t> bundle,
+                const crypto::HmacKey& seal_key,
+                const crypto::Digest& owner_identity, Resource& dst);
     bool unseal(std::span<const std::uint8_t> bundle,
                 const crypto::Digest& seal_key,
                 const crypto::Digest& owner_identity, Resource& dst);

@@ -1,5 +1,8 @@
 #include "crypto/aes.hh"
 
+#include "base/bytes.hh"
+
+#include <bit>
 #include <cstring>
 
 namespace osh::crypto
@@ -85,7 +88,7 @@ constexpr std::uint8_t rcon[10] = {
 };
 
 // Multiply by x in GF(2^8).
-inline std::uint8_t
+constexpr std::uint8_t
 xtime(std::uint8_t a)
 {
     return static_cast<std::uint8_t>((a << 1) ^ ((a >> 7) * 0x1b));
@@ -104,6 +107,41 @@ gmul(std::uint8_t a, std::uint8_t b)
     }
     return p;
 }
+
+// Encryption T-tables: Te0[x] packs the MixColumns column produced by
+// S-box output S = sbox[x] as big-endian (2S, S, S, 3S); Te1..Te3 are
+// byte rotations of Te0 so each table feeds one state row. One round
+// becomes four loads + XORs per column, SubBytes/ShiftRows/MixColumns
+// included.
+struct TeTables
+{
+    std::uint32_t t0[256];
+    std::uint32_t t1[256];
+    std::uint32_t t2[256];
+    std::uint32_t t3[256];
+};
+
+constexpr TeTables
+makeTeTables()
+{
+    TeTables t{};
+    for (int i = 0; i < 256; ++i) {
+        std::uint8_t s = sbox[i];
+        std::uint8_t s2 = xtime(s);
+        std::uint8_t s3 = static_cast<std::uint8_t>(s2 ^ s);
+        std::uint32_t w = (static_cast<std::uint32_t>(s2) << 24) |
+                          (static_cast<std::uint32_t>(s) << 16) |
+                          (static_cast<std::uint32_t>(s) << 8) |
+                          static_cast<std::uint32_t>(s3);
+        t.t0[i] = w;
+        t.t1[i] = std::rotr(w, 8);
+        t.t2[i] = std::rotr(w, 16);
+        t.t3[i] = std::rotr(w, 24);
+    }
+    return t;
+}
+
+constexpr TeTables Te = makeTeTables();
 
 } // namespace
 
@@ -127,10 +165,97 @@ Aes128::Aes128(const AesKey& key)
                 roundKeys_[(i - 4) * 4 + b] ^ t[b];
         }
     }
+    for (std::size_t w = 0; w < roundKeyWords_.size(); ++w)
+        roundKeyWords_[w] = loadBe32(&roundKeys_[w * 4]);
 }
 
 void
 Aes128::encryptBlock(const std::uint8_t* in, std::uint8_t* out) const
+{
+    if (referenceMode_)
+        encryptBlockReference(in, out);
+    else
+        encryptBlockFast(in, out);
+}
+
+void
+Aes128::encryptBlocks(const std::uint8_t* in, std::uint8_t* out,
+                      std::size_t nblocks) const
+{
+    if (referenceMode_) {
+        for (std::size_t b = 0; b < nblocks; ++b)
+            encryptBlockReference(in + b * aesBlockSize,
+                                  out + b * aesBlockSize);
+    } else {
+        for (std::size_t b = 0; b < nblocks; ++b)
+            encryptBlockFast(in + b * aesBlockSize,
+                             out + b * aesBlockSize);
+    }
+}
+
+void
+Aes128::encryptBlockFast(const std::uint8_t* in, std::uint8_t* out) const
+{
+    const std::uint32_t* rk = roundKeyWords_.data();
+
+    // State as four big-endian column words; row 0 is the MSB.
+    std::uint32_t s0 = loadBe32(in) ^ rk[0];
+    std::uint32_t s1 = loadBe32(in + 4) ^ rk[1];
+    std::uint32_t s2 = loadBe32(in + 8) ^ rk[2];
+    std::uint32_t s3 = loadBe32(in + 12) ^ rk[3];
+
+    for (int round = 1; round < numRounds; ++round) {
+        rk += 4;
+        std::uint32_t t0 = Te.t0[s0 >> 24] ^ Te.t1[(s1 >> 16) & 0xff] ^
+                           Te.t2[(s2 >> 8) & 0xff] ^ Te.t3[s3 & 0xff] ^
+                           rk[0];
+        std::uint32_t t1 = Te.t0[s1 >> 24] ^ Te.t1[(s2 >> 16) & 0xff] ^
+                           Te.t2[(s3 >> 8) & 0xff] ^ Te.t3[s0 & 0xff] ^
+                           rk[1];
+        std::uint32_t t2 = Te.t0[s2 >> 24] ^ Te.t1[(s3 >> 16) & 0xff] ^
+                           Te.t2[(s0 >> 8) & 0xff] ^ Te.t3[s1 & 0xff] ^
+                           rk[2];
+        std::uint32_t t3 = Te.t0[s3 >> 24] ^ Te.t1[(s0 >> 16) & 0xff] ^
+                           Te.t2[(s1 >> 8) & 0xff] ^ Te.t3[s2 & 0xff] ^
+                           rk[3];
+        s0 = t0;
+        s1 = t1;
+        s2 = t2;
+        s3 = t3;
+    }
+
+    // Final round: SubBytes + ShiftRows + AddRoundKey, no MixColumns.
+    rk += 4;
+    std::uint32_t t0 =
+        (static_cast<std::uint32_t>(sbox[s0 >> 24]) << 24) |
+        (static_cast<std::uint32_t>(sbox[(s1 >> 16) & 0xff]) << 16) |
+        (static_cast<std::uint32_t>(sbox[(s2 >> 8) & 0xff]) << 8) |
+        static_cast<std::uint32_t>(sbox[s3 & 0xff]);
+    std::uint32_t t1 =
+        (static_cast<std::uint32_t>(sbox[s1 >> 24]) << 24) |
+        (static_cast<std::uint32_t>(sbox[(s2 >> 16) & 0xff]) << 16) |
+        (static_cast<std::uint32_t>(sbox[(s3 >> 8) & 0xff]) << 8) |
+        static_cast<std::uint32_t>(sbox[s0 & 0xff]);
+    std::uint32_t t2 =
+        (static_cast<std::uint32_t>(sbox[s2 >> 24]) << 24) |
+        (static_cast<std::uint32_t>(sbox[(s3 >> 16) & 0xff]) << 16) |
+        (static_cast<std::uint32_t>(sbox[(s0 >> 8) & 0xff]) << 8) |
+        static_cast<std::uint32_t>(sbox[s1 & 0xff]);
+    std::uint32_t t3 =
+        (static_cast<std::uint32_t>(sbox[s3 >> 24]) << 24) |
+        (static_cast<std::uint32_t>(sbox[(s0 >> 16) & 0xff]) << 16) |
+        (static_cast<std::uint32_t>(sbox[(s1 >> 8) & 0xff]) << 8) |
+        static_cast<std::uint32_t>(sbox[s2 & 0xff]);
+
+    storeBe32(out, t0 ^ rk[0]);
+    storeBe32(out + 4, t1 ^ rk[1]);
+    storeBe32(out + 8, t2 ^ rk[2]);
+    storeBe32(out + 12, t3 ^ rk[3]);
+}
+
+void
+Aes128::encryptBlockReference(const std::uint8_t* in,
+                              std::uint8_t* out) const
 {
     std::uint8_t s[16];
     std::memcpy(s, in, 16);

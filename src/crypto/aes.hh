@@ -4,10 +4,19 @@
  *
  * Overshadow's VMM encrypts cloaked pages with AES-128; this is the
  * simulator's real implementation (pages really are ciphertext in the
- * kernel's view). The implementation is a straightforward table-free
- * version: S-box lookups plus xtime() for MixColumns. Speed is adequate
- * because simulated crypto *cost* is charged by the cycle model, not
- * measured from host time.
+ * kernel's view). Two encrypt paths exist:
+ *
+ *  - the default T-table path: four precomputed 256x32-bit lookup
+ *    tables fold SubBytes + ShiftRows + MixColumns into four loads and
+ *    XORs per column per round, which is what makes real host time on
+ *    page crypto tolerable at scale;
+ *  - a byte-wise reference path (S-box + xtime per FIPS-197 pseudocode)
+ *    kept selectable per instance so known-answer and differential
+ *    tests can pin the optimized kernel against the straightforward
+ *    transcription of the spec.
+ *
+ * Simulated crypto *cost* is still charged by the cycle model; host
+ * speed only affects how long the simulation itself takes to run.
  */
 
 #ifndef OSH_CRYPTO_AES_HH
@@ -40,14 +49,44 @@ class Aes128
     /** Encrypt one 16-byte block: out = E_k(in). in may alias out. */
     void encryptBlock(const std::uint8_t* in, std::uint8_t* out) const;
 
+    /**
+     * Encrypt `nblocks` consecutive 16-byte blocks. The bulk entry
+     * point for CTR keystream generation; in may alias out.
+     */
+    void encryptBlocks(const std::uint8_t* in, std::uint8_t* out,
+                       std::size_t nblocks) const;
+
     /** Decrypt one 16-byte block: out = D_k(in). in may alias out. */
     void decryptBlock(const std::uint8_t* in, std::uint8_t* out) const;
+
+    /**
+     * The byte-wise FIPS-197 reference encryption, always available
+     * regardless of referenceMode(). Differential tests compare the
+     * T-table path against this.
+     */
+    void encryptBlockReference(const std::uint8_t* in,
+                               std::uint8_t* out) const;
+
+    /**
+     * When set, encryptBlock()/encryptBlocks() use the byte-wise
+     * reference path instead of T-tables. Lets higher layers (CTR,
+     * benches) run end-to-end on the un-optimized kernel.
+     */
+    void setReferenceMode(bool on) { referenceMode_ = on; }
+    bool referenceMode() const { return referenceMode_; }
 
   private:
     static constexpr int numRounds = 10;
 
+    void encryptBlockFast(const std::uint8_t* in, std::uint8_t* out) const;
+
     /** Round keys: (numRounds + 1) x 16 bytes. */
     std::array<std::uint8_t, (numRounds + 1) * aesBlockSize> roundKeys_;
+
+    /** Same round keys as big-endian column words for the T-table path. */
+    std::array<std::uint32_t, (numRounds + 1) * 4> roundKeyWords_;
+
+    bool referenceMode_ = false;
 };
 
 } // namespace osh::crypto

@@ -5,7 +5,7 @@
 namespace osh::crypto
 {
 
-HmacSha256::HmacSha256(std::span<const std::uint8_t> key)
+HmacKey::HmacKey(std::span<const std::uint8_t> key)
 {
     std::array<std::uint8_t, sha256BlockSize> k{};
     if (key.size() > sha256BlockSize) {
@@ -16,11 +16,23 @@ HmacSha256::HmacSha256(std::span<const std::uint8_t> key)
     }
 
     std::array<std::uint8_t, sha256BlockSize> ipad;
+    std::array<std::uint8_t, sha256BlockSize> opad;
     for (std::size_t i = 0; i < sha256BlockSize; ++i) {
         ipad[i] = static_cast<std::uint8_t>(k[i] ^ 0x36);
-        opad_[i] = static_cast<std::uint8_t>(k[i] ^ 0x5c);
+        opad[i] = static_cast<std::uint8_t>(k[i] ^ 0x5c);
     }
-    inner_.update(ipad);
+    innerStart_.update(ipad);
+    outerStart_.update(opad);
+}
+
+HmacSha256::HmacSha256(std::span<const std::uint8_t> key)
+    : HmacSha256(HmacKey(key))
+{
+}
+
+HmacSha256::HmacSha256(const HmacKey& key)
+    : inner_(key.innerStart_), outer_(key.outerStart_)
+{
 }
 
 void
@@ -33,15 +45,21 @@ Digest
 HmacSha256::final()
 {
     Digest inner_digest = inner_.final();
-    Sha256 outer;
-    outer.update(opad_);
-    outer.update(inner_digest);
-    return outer.final();
+    outer_.update(inner_digest);
+    return outer_.final();
 }
 
 Digest
 hmacSha256(std::span<const std::uint8_t> key,
            std::span<const std::uint8_t> data)
+{
+    HmacSha256 ctx(key);
+    ctx.update(data);
+    return ctx.final();
+}
+
+Digest
+hmacSha256(const HmacKey& key, std::span<const std::uint8_t> data)
 {
     HmacSha256 ctx(key);
     ctx.update(data);

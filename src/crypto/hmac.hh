@@ -4,6 +4,13 @@
  *
  * Used to seal persisted protection metadata so that a malicious guest
  * cannot forge or splice metadata for cloaked files.
+ *
+ * Keying is split out into HmacKey: the key block and the ipad/opad
+ * midstates (one SHA-256 compression each) are computed once per key
+ * and then reused for every MAC under that key. The cloak engine and
+ * metadata sealing MAC thousands of messages under a handful of
+ * per-resource keys, so recomputing the pads per call — as the old
+ * one-shot-only interface forced — was pure waste.
  */
 
 #ifndef OSH_CRYPTO_HMAC_HH
@@ -17,22 +24,44 @@
 namespace osh::crypto
 {
 
+/**
+ * A prepared HMAC-SHA256 key: the SHA-256 midstates after absorbing
+ * the ipad and opad blocks. Construct once per key, reuse for any
+ * number of MACs; copying is cheap (two hash states).
+ */
+class HmacKey
+{
+  public:
+    HmacKey() = default;
+    explicit HmacKey(std::span<const std::uint8_t> key);
+
+  private:
+    friend class HmacSha256;
+
+    Sha256 innerStart_; // state after the ipad block
+    Sha256 outerStart_; // state after the opad block
+};
+
 /** One-shot HMAC-SHA256 of data under key. */
 Digest hmacSha256(std::span<const std::uint8_t> key,
                   std::span<const std::uint8_t> data);
+
+/** One-shot HMAC-SHA256 under a prepared key (no per-call pad hashing). */
+Digest hmacSha256(const HmacKey& key, std::span<const std::uint8_t> data);
 
 /** Streaming HMAC context. */
 class HmacSha256
 {
   public:
     explicit HmacSha256(std::span<const std::uint8_t> key);
+    explicit HmacSha256(const HmacKey& key);
 
     void update(std::span<const std::uint8_t> data);
     Digest final();
 
   private:
     Sha256 inner_;
-    std::array<std::uint8_t, sha256BlockSize> opad_;
+    Sha256 outer_;
 };
 
 } // namespace osh::crypto

@@ -1,7 +1,6 @@
 #include "crypto/keys.hh"
 
 #include "base/bytes.hh"
-#include "crypto/hmac.hh"
 
 #include <cstring>
 
@@ -14,6 +13,7 @@ KeyManager::KeyManager(std::uint64_t master_seed)
     storeLe64(seed_bytes, master_seed);
     std::memcpy(seed_bytes + 8, "OSHMSTR!", 8);
     master_ = Sha256::hash(seed_bytes);
+    masterHmac_ = HmacKey(master_);
 }
 
 AesKey
@@ -22,7 +22,7 @@ KeyManager::deriveAesKey(ResourceId resource) const
     std::uint8_t info[16] = {};
     storeLe64(info, resource);
     std::memcpy(info + 8, "pagekey\0", 8);
-    Digest d = hmacSha256(master_, info);
+    Digest d = hmacSha256(masterHmac_, info);
     AesKey key;
     std::memcpy(key.data(), d.data(), key.size());
     return key;
@@ -43,10 +43,26 @@ KeyManager::pageCipher(ResourceId resource)
 Digest
 KeyManager::sealingKey(ResourceId resource) const
 {
-    std::uint8_t info[16] = {};
-    storeLe64(info, resource);
-    std::memcpy(info + 8, "sealkey\0", 8);
-    return hmacSha256(master_, info);
+    auto it = sealingKeys_.find(resource);
+    if (it == sealingKeys_.end()) {
+        std::uint8_t info[16] = {};
+        storeLe64(info, resource);
+        std::memcpy(info + 8, "sealkey\0", 8);
+        it = sealingKeys_.emplace(resource,
+                                  hmacSha256(masterHmac_, info)).first;
+    }
+    return it->second;
+}
+
+const HmacKey&
+KeyManager::sealingHmacKey(ResourceId resource) const
+{
+    auto it = sealingHmacs_.find(resource);
+    if (it == sealingHmacs_.end()) {
+        it = sealingHmacs_.emplace(resource,
+                                   HmacKey(sealingKey(resource))).first;
+    }
+    return it->second;
 }
 
 } // namespace osh::crypto

@@ -8,6 +8,11 @@
  * the master via HMAC so that compromise of one resource key reveals
  * nothing about the others, and persisted metadata can be bound to its
  * resource identity.
+ *
+ * Everything expensive is derived once and cached: the expanded AES key
+ * schedule, the sealing key bytes, and the HMAC ipad/opad midstates for
+ * both the master (key derivation) and each sealing key (metadata
+ * MACs). Hot paths never re-run a key schedule or pad hash.
  */
 
 #ifndef OSH_CRYPTO_KEYS_HH
@@ -15,6 +20,7 @@
 
 #include "base/types.hh"
 #include "crypto/aes.hh"
+#include "crypto/hmac.hh"
 #include "crypto/sha256.hh"
 
 #include <cstdint>
@@ -41,6 +47,13 @@ class KeyManager
     /** The 256-bit key used to seal a resource's persisted metadata. */
     Digest sealingKey(ResourceId resource) const;
 
+    /**
+     * The prepared HMAC midstate for a resource's sealing key. The
+     * returned reference stays valid for the KeyManager's lifetime;
+     * use it to MAC metadata without re-hashing the key pads.
+     */
+    const HmacKey& sealingHmacKey(ResourceId resource) const;
+
     /** Number of distinct resource keys derived so far. */
     std::size_t derivedKeyCount() const { return ciphers_.size(); }
 
@@ -48,7 +61,10 @@ class KeyManager
     AesKey deriveAesKey(ResourceId resource) const;
 
     Digest master_;
+    HmacKey masterHmac_;
     std::unordered_map<ResourceId, std::unique_ptr<Aes128>> ciphers_;
+    mutable std::unordered_map<ResourceId, Digest> sealingKeys_;
+    mutable std::unordered_map<ResourceId, HmacKey> sealingHmacs_;
 };
 
 } // namespace osh::crypto

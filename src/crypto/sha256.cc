@@ -126,15 +126,18 @@ Digest
 Sha256::final()
 {
     std::uint64_t bit_len = totalLen_ * 8;
-    std::uint8_t pad = 0x80;
-    update(std::span<const std::uint8_t>(&pad, 1));
-    std::uint8_t zero = 0;
-    while (bufferLen_ != 56)
-        update(std::span<const std::uint8_t>(&zero, 1));
-    std::uint8_t len_bytes[8];
-    storeBe64(len_bytes, bit_len);
-    // Update totalLen_ is irrelevant now; process the final block.
-    std::memcpy(buffer_.data() + 56, len_bytes, 8);
+    // Pad in place in a single pass: 0x80, zeros up to byte 56 of the
+    // final block (spilling into one extra block when fewer than nine
+    // bytes remain), then the big-endian bit length.
+    buffer_[bufferLen_++] = 0x80;
+    if (bufferLen_ > 56) {
+        std::memset(buffer_.data() + bufferLen_, 0,
+                    sha256BlockSize - bufferLen_);
+        processBlock(buffer_.data());
+        bufferLen_ = 0;
+    }
+    std::memset(buffer_.data() + bufferLen_, 0, 56 - bufferLen_);
+    storeBe64(buffer_.data() + 56, bit_len);
     processBlock(buffer_.data());
     bufferLen_ = 0;
 

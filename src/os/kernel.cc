@@ -517,8 +517,10 @@ Kernel::swapOutAnon(Gpa gpa)
     osh_assert(slot.has_value(), "swap device full");
 
     // Read the victim frame through the kernel view. If it holds a
-    // cloaked plaintext page this is the access that makes the cloak
-    // engine encrypt it — so what reaches the swap device is ciphertext.
+    // cloaked plaintext page the cloak engine encrypts it first — so
+    // what reaches the swap device is ciphertext. The hint routes the
+    // seal through the VMM's batched crypto path.
+    vmm_.prepareFramesForKernel(std::span<const Gpa>(&gpa, 1));
     std::array<std::uint8_t, pageSize> buf;
     readFrameAsKernel(currentThread(), gpa, buf);
     swap_.writeSlot(*slot, buf);
@@ -606,8 +608,10 @@ Kernel::writebackPage(Inode& ino, std::uint64_t page_index,
     osh_assert(cit != ino.cache.end(), "writeback of uncached page");
     std::array<std::uint8_t, pageSize> buf;
     // Through the kernel view: cloaked file pages hit the disk as
-    // ciphertext.
-    readFrameAsKernel(currentThread(), cit->second.gpa, buf);
+    // ciphertext (sealed via the batched crypto path when plaintext).
+    Gpa wb_gpa = cit->second.gpa;
+    vmm_.prepareFramesForKernel(std::span<const Gpa>(&wb_gpa, 1));
+    readFrameAsKernel(currentThread(), wb_gpa, buf);
 
     std::uint64_t off = page_index * pageSize;
     std::uint64_t needed = off + pageSize;

@@ -593,11 +593,16 @@ Kernel::sysFsync(Thread&, std::uint64_t fd)
         return -errBadF;
     Inode& ino = vfs_.inode(f->inode);
     std::vector<std::uint64_t> dirty;
+    std::vector<Gpa> dirty_gpas;
     for (auto& [idx, e] : ino.cache) {
-        if (e.dirty)
+        if (e.dirty) {
             dirty.push_back(idx);
+            dirty_gpas.push_back(e.gpa);
+        }
     }
-    // Batched writeback: one seek, then streaming.
+    // Seal any cloaked plaintext among the dirty pages in one batch,
+    // then write back: one seek, then streaming.
+    vmm_.prepareFramesForKernel(dirty_gpas);
     bool first = true;
     for (std::uint64_t idx : dirty) {
         writebackPage(ino, idx, first);
@@ -708,6 +713,22 @@ Kernel::sysFork(Thread& t, std::uint64_t token)
     vas.reserve(parent.as.ptes().size());
     for (const auto& [va, pte] : parent.as.ptes())
         vas.push_back(va);
+
+    // Fork snapshotting: every present cloaked page is about to be
+    // read through the kernel view, which forces its encryption — the
+    // dominant cost of cloaked fork. Hand the whole set to the VMM in
+    // one batch so the crypto runs through the bulk pipeline instead
+    // of one fault at a time.
+    std::vector<Gpa> preseal;
+    for (GuestVA va : vas) {
+        Vma* vma = parent.as.findVma(va);
+        if (vma == nullptr || !vma->cloaked || vma->type == VmaType::File)
+            continue;
+        Pte* ppte = parent.as.findPte(va);
+        if (ppte != nullptr && ppte->present)
+            preseal.push_back(pageBase(ppte->gpa));
+    }
+    vmm_.prepareFramesForKernel(preseal);
 
     for (GuestVA va : vas) {
         Vma* vma = parent.as.findVma(va);

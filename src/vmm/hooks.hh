@@ -66,6 +66,21 @@ class CloakBackend
     /** Handle a hypercall from a (cloaked) application. */
     virtual std::int64_t hypercall(Vcpu& vcpu, Hypercall num,
                                    std::span<const std::uint64_t> args) = 0;
+
+    /**
+     * Batching hint from the guest kernel's bulk paths (fork eager
+     * copy, fsync writeback, swap-out): seal — encrypt in place — any
+     * of the given frames that currently hold cloaked plaintext,
+     * before the kernel reads them one by one. Purely an optimization
+     * hook: the backend encrypts on the first foreign access anyway,
+     * so ignoring the hint is always safe and the default does
+     * nothing. Returns the number of frames sealed.
+     */
+    virtual std::size_t sealPlaintextFrames(std::span<const Gpa> gpas)
+    {
+        (void)gpas;
+        return 0;
+    }
 };
 
 /**

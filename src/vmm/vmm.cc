@@ -225,6 +225,15 @@ Vmm::hypercall(Vcpu& vcpu, Hypercall num,
     return cloak_->hypercall(vcpu, num, args);
 }
 
+std::size_t
+Vmm::prepareFramesForKernel(std::span<const Gpa> gpas)
+{
+    std::size_t sealed = cloak_->sealPlaintextFrames(gpas);
+    if (sealed > 0)
+        stats_.counter("kernel_preseals").inc(sealed);
+    return sealed;
+}
+
 void
 Vmm::chargeWorldSwitch(const char* reason)
 {

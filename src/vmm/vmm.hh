@@ -102,6 +102,15 @@ class Vmm
     std::int64_t hypercall(Vcpu& vcpu, Hypercall num,
                            std::span<const std::uint64_t> args);
 
+    /**
+     * Guest-kernel batching hint before a bulk frame read (fork eager
+     * copy, fsync writeback, swap-out): ask the cloak backend to seal
+     * any listed frames still holding cloaked plaintext in one batch
+     * instead of one fault at a time. Safe to call with frames in any
+     * state; returns the number actually sealed.
+     */
+    std::size_t prepareFramesForKernel(std::span<const Gpa> gpas);
+
     /** Charge one guest->VMM->guest round trip. */
     void chargeWorldSwitch(const char* reason);
 

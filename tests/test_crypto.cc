@@ -105,6 +105,76 @@ TEST(Aes, InPlaceAliasedBuffers)
     EXPECT_EQ(toHex(buf), "00112233445566778899aabbccddeeff");
 }
 
+TEST(Aes, ReferencePathMatchesFips197)
+{
+    // The byte-wise reference path is always callable, whatever the
+    // dispatch mode — the differential anchor for the T-table kernel.
+    Aes128 aes(keyFromHex("000102030405060708090a0b0c0d0e0f"));
+    auto pt = fromHex("00112233445566778899aabbccddeeff");
+    std::uint8_t ct[16];
+    aes.encryptBlockReference(pt.data(), ct);
+    EXPECT_EQ(toHex(std::span<const std::uint8_t>(ct, 16)),
+              "69c4e0d86a7b0430d8cdb78070b4c55a");
+}
+
+TEST(Aes, ReferenceModePassesSp80038aVectors)
+{
+    // The NIST ECB vectors must hold on both encrypt kernels.
+    Aes128 aes(keyFromHex("2b7e151628aed2a6abf7158809cf4f3c"));
+    aes.setReferenceMode(true);
+    EXPECT_TRUE(aes.referenceMode());
+    auto pt = fromHex("6bc1bee22e409f96e93d7e117393172a");
+    std::uint8_t ct[16];
+    aes.encryptBlock(pt.data(), ct);
+    EXPECT_EQ(toHex(std::span<const std::uint8_t>(ct, 16)),
+              "3ad77bb40d7a3660a89ecaf32466ef97");
+    aes.setReferenceMode(false);
+    aes.encryptBlock(pt.data(), ct);
+    EXPECT_EQ(toHex(std::span<const std::uint8_t>(ct, 16)),
+              "3ad77bb40d7a3660a89ecaf32466ef97");
+}
+
+TEST(Aes, TtableMatchesReferenceRandom)
+{
+    Rng rng(2026);
+    for (int trial = 0; trial < 1000; ++trial) {
+        AesKey key;
+        rng.fill(key);
+        Aes128 aes(key);
+        AesBlock pt, fast, ref;
+        rng.fill(pt);
+        aes.encryptBlock(pt.data(), fast.data());
+        aes.encryptBlockReference(pt.data(), ref.data());
+        ASSERT_EQ(fast, ref) << "trial " << trial;
+        AesBlock back;
+        aes.decryptBlock(fast.data(), back.data());
+        ASSERT_EQ(back, pt) << "trial " << trial;
+    }
+}
+
+TEST(Aes, EncryptBlocksMatchesPerBlock)
+{
+    Rng rng(404);
+    AesKey key;
+    rng.fill(key);
+    Aes128 aes(key);
+    for (std::size_t nblocks : {1u, 2u, 3u, 7u, 8u, 9u, 16u, 256u}) {
+        std::vector<std::uint8_t> in(nblocks * aesBlockSize);
+        rng.fill(in);
+        std::vector<std::uint8_t> bulk(in.size());
+        aes.encryptBlocks(in.data(), bulk.data(), nblocks);
+        std::vector<std::uint8_t> single(in.size());
+        for (std::size_t b = 0; b < nblocks; ++b)
+            aes.encryptBlock(in.data() + b * aesBlockSize,
+                             single.data() + b * aesBlockSize);
+        EXPECT_EQ(bulk, single) << nblocks << " blocks";
+        // Aliased in/out must give the same result.
+        std::vector<std::uint8_t> aliased(in);
+        aes.encryptBlocks(aliased.data(), aliased.data(), nblocks);
+        EXPECT_EQ(aliased, bulk) << nblocks << " blocks aliased";
+    }
+}
+
 TEST(Ctr, Sp80038aF511)
 {
     // NIST SP 800-38A F.5.1 CTR-AES128.Encrypt.
@@ -125,6 +195,57 @@ TEST(Ctr, Sp80038aF511)
               "9806f66b7970fdff8617187bb9fffdff"
               "5ae4df3edbd5d35e5b4f09020db03eab"
               "1e031dda2fbe03d1792170a0f3009cee");
+}
+
+TEST(Ctr, Sp80038aF511ReferenceMode)
+{
+    // The same NIST CTR vector driven end-to-end through the byte-wise
+    // reference encrypt path.
+    Aes128 aes(keyFromHex("2b7e151628aed2a6abf7158809cf4f3c"));
+    aes.setReferenceMode(true);
+    Iv iv;
+    auto ivv = fromHex("f0f1f2f3f4f5f6f7f8f9fafbfcfdfeff");
+    std::copy(ivv.begin(), ivv.end(), iv.begin());
+    auto pt = fromHex(
+        "6bc1bee22e409f96e93d7e117393172a"
+        "ae2d8a571e03ac9c9eb76fac45af8e51"
+        "30c81c46a35ce411e5fbc1191a0a52ef"
+        "f69f2445df4f9b17ad2b417be66c3710");
+    std::vector<std::uint8_t> ct(pt.size());
+    aesCtrXcrypt(aes, iv, pt, ct);
+    EXPECT_EQ(toHex(ct),
+              "874d6191b620e3261bef6864990db6ce"
+              "9806f66b7970fdff8617187bb9fffdff"
+              "5ae4df3edbd5d35e5b4f09020db03eab"
+              "1e031dda2fbe03d1792170a0f3009cee");
+}
+
+TEST(Ctr, DifferentialOptimizedVsReference)
+{
+    // 1000 random (key, IV, length, offset) cases: the batched T-table
+    // CTR pipeline must produce byte-identical output to the byte-wise
+    // reference kernel, including unaligned buffers and lengths that
+    // are not multiples of the batch or block size.
+    Rng rng(0xd1ff);
+    std::vector<std::uint8_t> arena(4096 + 64);
+    for (int trial = 0; trial < 1000; ++trial) {
+        AesKey key;
+        rng.fill(key);
+        Aes128 opt(key);
+        Aes128 ref(key);
+        ref.setReferenceMode(true);
+        Iv iv;
+        rng.fill(iv);
+        std::size_t offset = static_cast<std::size_t>(rng.nextBounded(64));
+        std::size_t len = static_cast<std::size_t>(rng.nextBounded(trial % 10 == 0 ? 4097 : 301));
+        rng.fill(std::span<std::uint8_t>(arena.data() + offset, len));
+        std::span<const std::uint8_t> pt(arena.data() + offset, len);
+        std::vector<std::uint8_t> a(len), b(len);
+        aesCtrXcrypt(opt, iv, pt, a);
+        aesCtrXcrypt(ref, iv, pt, b);
+        ASSERT_EQ(a, b) << "trial " << trial << " len " << len
+                        << " offset " << offset;
+    }
 }
 
 TEST(Ctr, RoundTripArbitraryLengths)
@@ -267,6 +388,51 @@ TEST(Hmac, Rfc4231Case6LongKey)
         reinterpret_cast<const std::uint8_t*>(msg.data()), msg.size()));
     EXPECT_EQ(toHex(mac),
               "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54");
+}
+
+TEST(Hmac, MidstateMatchesOneShotRfc4231)
+{
+    // Every RFC 4231 vector must hold through the prepared-key
+    // midstate path and the streaming context as well.
+    struct { std::vector<std::uint8_t> key, msg; const char* mac; } cases[] = {
+        {std::vector<std::uint8_t>(20, 0x0b),
+         {'H', 'i', ' ', 'T', 'h', 'e', 'r', 'e'},
+         "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7"},
+        {{'J', 'e', 'f', 'e'},
+         {'w', 'h', 'a', 't', ' ', 'd', 'o', ' ', 'y', 'a', ' ', 'w',
+          'a', 'n', 't', ' ', 'f', 'o', 'r', ' ', 'n', 'o', 't', 'h',
+          'i', 'n', 'g', '?'},
+         "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843"},
+        {std::vector<std::uint8_t>(20, 0xaa),
+         std::vector<std::uint8_t>(50, 0xdd),
+         "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe"},
+    };
+    for (const auto& c : cases) {
+        HmacKey prepared{std::span<const std::uint8_t>(c.key)};
+        EXPECT_EQ(toHex(hmacSha256(prepared, c.msg)), c.mac);
+        HmacSha256 ctx(prepared);
+        for (std::uint8_t byte : c.msg)
+            ctx.update(std::span<const std::uint8_t>(&byte, 1));
+        EXPECT_EQ(toHex(ctx.final()), c.mac);
+    }
+}
+
+TEST(Hmac, MidstateReusableAcrossMessages)
+{
+    // One prepared key, many MACs: each must equal the one-shot MAC,
+    // including for keys longer than the block size (hashed first).
+    Rng rng(555);
+    for (std::size_t key_len : {1u, 32u, 64u, 65u, 131u}) {
+        std::vector<std::uint8_t> key(key_len);
+        rng.fill(key);
+        HmacKey prepared{std::span<const std::uint8_t>(key)};
+        for (std::size_t msg_len : {0u, 1u, 55u, 64u, 200u, 1096u}) {
+            std::vector<std::uint8_t> msg(msg_len);
+            rng.fill(msg);
+            EXPECT_EQ(hmacSha256(prepared, msg), hmacSha256(key, msg))
+                << "key " << key_len << " msg " << msg_len;
+        }
+    }
 }
 
 TEST(Keys, StableDerivation)
