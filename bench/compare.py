@@ -14,9 +14,10 @@ describe *why* cycles moved — unless --all gates them too.
 
 Keys starting with "host_" are host wall-time observations (ns, MB/s,
 speedup ratios): they depend on the machine the bench ran on, so they
-are shown in their own informational section, never gated — even with
---all — and never produce missing/new warnings (baselines deliberately
-omit them).
+are shown side by side in their own informational table, never gated —
+even with --all — and never produce missing/new warnings or a nonzero
+exit (baselines may omit them entirely; a key present in only one run
+shows "—" in the other column).
 
 Keys present in only one file are reported as warnings, never errors:
 adding a metric must not break CI, and a renamed metric shows up as
@@ -77,22 +78,35 @@ def main() -> int:
     regressions = []
     improvements = []
     drifts = []
-    host_deltas = []
     for key in sorted(base.keys() & cur.keys()):
+        if is_host(key):
+            continue
         b, c = base[key], cur[key]
         if b == c:
             continue
         delta = (c - b) / b if b else float("inf")
         row = (key, b, c, delta)
-        if is_host(key):
-            host_deltas.append(row)
-        elif args.all or is_gated(key):
+        if args.all or is_gated(key):
             if c > b * (1.0 + args.tolerance):
                 regressions.append(row)
             elif c < b:
                 improvements.append(row)
         else:
             drifts.append(row)
+
+    # Host wall-time: union of both runs' host_ keys, side by side.
+    host_rows = []
+    for key in sorted(k for k in base.keys() | cur.keys() if is_host(k)):
+        b = base.get(key)
+        c = cur.get(key)
+        if b is not None and c is not None and b != 0:
+            delta = f"{(c - b) / b:+.1%}"
+        else:
+            delta = "—"
+        host_rows.append(
+            (key, "—" if b is None else str(b),
+             "—" if c is None else str(c), delta)
+        )
 
     missing = sorted(k for k in base.keys() - cur.keys() if not is_host(k))
     new = sorted(k for k in cur.keys() - base.keys() if not is_host(k))
@@ -104,10 +118,24 @@ def main() -> int:
         for key, b, c, delta in rows:
             print(f"  {key}: {b} -> {c} ({delta:+.1%})")
 
+    def show_host(rows):
+        if not rows:
+            return
+        key_w = max(len(r[0]) for r in rows)
+        b_w = max(len("baseline"), max(len(r[1]) for r in rows))
+        c_w = max(len("current"), max(len(r[2]) for r in rows))
+        print("host wall-time (informational, never gated):")
+        print(
+            f"  {'metric':<{key_w}}  {'baseline':>{b_w}}  "
+            f"{'current':>{c_w}}  delta"
+        )
+        for key, b, c, delta in rows:
+            print(f"  {key:<{key_w}}  {b:>{b_w}}  {c:>{c_w}}  {delta}")
+
     show(regressions, "REGRESSIONS (beyond tolerance)")
     show(improvements, "improvements")
     show(drifts, "counter drift (informational)")
-    show(host_deltas, "host-time deltas (informational, never gated)")
+    show_host(host_rows)
     for key in missing:
         print(f"warning: metric missing from current run: {key}")
     for key in new:

@@ -1,0 +1,142 @@
+#include "base/pool.hh"
+
+#include "base/logging.hh"
+
+namespace osh
+{
+
+unsigned
+WorkerPool::hardwareWorkers()
+{
+    unsigned n = std::thread::hardware_concurrency();
+    return n == 0 ? 1 : n;
+}
+
+WorkerPool::WorkerPool(unsigned workers)
+{
+    startThreads(workers == 0 ? hardwareWorkers() : workers);
+}
+
+WorkerPool::~WorkerPool()
+{
+    stopThreads();
+}
+
+void
+WorkerPool::startThreads(unsigned lanes)
+{
+    osh_assert(lanes >= 1, "worker pool needs at least one lane");
+    threads_.reserve(lanes - 1);
+    for (unsigned i = 1; i < lanes; ++i)
+        threads_.emplace_back([this] { workerMain(); });
+}
+
+void
+WorkerPool::stopThreads()
+{
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        stop_ = true;
+    }
+    wake_.notify_all();
+    for (std::thread& t : threads_)
+        t.join();
+    threads_.clear();
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_ = false;
+    current_.reset();
+}
+
+void
+WorkerPool::resize(unsigned workers)
+{
+    unsigned lanes = workers == 0 ? hardwareWorkers() : workers;
+    if (lanes == this->workers())
+        return;
+    stopThreads();
+    startThreads(lanes);
+}
+
+void
+WorkerPool::runJob(Job& job)
+{
+    for (;;) {
+        std::size_t i = job.next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= job.size)
+            return;
+        try {
+            (*job.fn)(i);
+        } catch (...) {
+            std::lock_guard<std::mutex> lk(job.mu);
+            if (i < job.errorIndex) {
+                job.errorIndex = i;
+                job.error = std::current_exception();
+            }
+        }
+        if (job.done.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+            job.size) {
+            std::lock_guard<std::mutex> lk(job.mu);
+            job.complete = true;
+            job.finished.notify_all();
+        }
+    }
+}
+
+void
+WorkerPool::workerMain()
+{
+    std::uint64_t seen = 0;
+    for (;;) {
+        std::shared_ptr<Job> job;
+        {
+            std::unique_lock<std::mutex> lk(mu_);
+            wake_.wait(lk, [&] { return stop_ || jobSeq_ != seen; });
+            if (stop_)
+                return;
+            seen = jobSeq_;
+            job = current_;
+        }
+        if (job != nullptr)
+            runJob(*job);
+    }
+}
+
+void
+WorkerPool::parallelFor(std::size_t n,
+                        const std::function<void(std::size_t)>& fn)
+{
+    if (n == 0)
+        return;
+    if (threads_.empty() || n == 1) {
+        // Serial lane: inline, in order, first throw propagates — the
+        // exact pre-pool behavior.
+        for (std::size_t i = 0; i < n; ++i)
+            fn(i);
+        return;
+    }
+    auto job = std::make_shared<Job>();
+    job->fn = &fn;
+    job->size = n;
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        current_ = job;
+        ++jobSeq_;
+    }
+    wake_.notify_all();
+    runJob(*job); // The calling thread is a lane too.
+    {
+        // job->mu orders every lane's item effects (and any stored
+        // exception) before the caller continues.
+        std::unique_lock<std::mutex> lk(job->mu);
+        job->finished.wait(lk, [&] { return job->complete; });
+    }
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        if (current_ == job)
+            current_.reset();
+    }
+    if (job->error != nullptr)
+        std::rethrow_exception(job->error);
+}
+
+} // namespace osh

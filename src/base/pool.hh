@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Host-side worker pool with deterministic fan-out semantics.
+ *
+ * The pool exists for one pattern: *deterministic fan-out / ordered
+ * reduce*. A caller splits a batch into independent per-item compute
+ * (pure functions into per-item staging buffers), fans it across the
+ * pool with parallelFor(), and then merges the staged results on its
+ * own thread in submission order. Scheduling order is never observable:
+ * workers only ever write their own item's staging slot, so the merged
+ * output is byte-identical whatever the worker count.
+ *
+ * This is host-side parallelism only. Nothing here touches simulated
+ * time: cycle charges, RNG draws, trace events and stats all stay on
+ * the calling thread (see cloak::CloakEngine's batch paths for the
+ * canonical use). A pool with one lane runs everything inline on the
+ * caller — exactly the pre-pool behavior, with no threads created.
+ */
+
+#ifndef OSH_BASE_POOL_HH
+#define OSH_BASE_POOL_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace osh
+{
+
+/**
+ * A fixed set of host worker threads executing index-based jobs.
+ *
+ * `workers` counts *lanes*, including the calling thread: a pool with
+ * N lanes spawns N-1 threads and the caller works too, so workers==1
+ * is fully serial and thread-free. parallelFor() is not reentrant —
+ * the job function must not call back into the same pool.
+ */
+class WorkerPool
+{
+  public:
+    /** Lanes matching the host: hardware_concurrency, at least 1. */
+    static unsigned hardwareWorkers();
+
+    /** @param workers Lane count; 0 = hardwareWorkers(). */
+    explicit WorkerPool(unsigned workers = 1);
+    ~WorkerPool();
+
+    WorkerPool(const WorkerPool&) = delete;
+    WorkerPool& operator=(const WorkerPool&) = delete;
+
+    /** Lane count, including the calling thread. */
+    unsigned workers() const
+    {
+        return static_cast<unsigned>(threads_.size()) + 1;
+    }
+
+    /** Join and respawn to a new lane count (0 = hardwareWorkers()).
+     *  Must not be called while a parallelFor is in flight. */
+    void resize(unsigned workers);
+
+    /**
+     * Run fn(0) .. fn(n-1), possibly concurrently, and block until all
+     * calls have finished. Indices are claimed dynamically, so which
+     * lane runs which index is unspecified — fn must confine its writes
+     * to per-index state.
+     *
+     * Exceptions: with more than one lane every index still runs, and
+     * the exception thrown by the *lowest* failing index is rethrown on
+     * the caller (deterministic whichever lane hit it first). With one
+     * lane the calls run inline in order and the first throw propagates
+     * immediately. The pool remains usable after a throw.
+     */
+    void parallelFor(std::size_t n,
+                     const std::function<void(std::size_t)>& fn);
+
+  private:
+    /** One fan-out in flight. Heap-allocated and shared with every
+     *  lane so a late-waking worker can never claim indices of a
+     *  successor job (the classic generation-counter ABA). */
+    struct Job
+    {
+        const std::function<void(std::size_t)>* fn = nullptr;
+        std::size_t size = 0;
+        std::atomic<std::size_t> next{0};   ///< Next unclaimed index.
+        std::atomic<std::size_t> done{0};   ///< Finished calls.
+        std::mutex mu;
+        std::condition_variable finished;
+        bool complete = false;
+        std::size_t errorIndex = SIZE_MAX;  ///< Lowest failing index.
+        std::exception_ptr error;
+    };
+
+    void workerMain();
+    static void runJob(Job& job);
+    void startThreads(unsigned lanes);
+    void stopThreads();
+
+    std::mutex mu_;
+    std::condition_variable wake_;
+    std::shared_ptr<Job> current_;
+    std::uint64_t jobSeq_ = 0;
+    bool stop_ = false;
+    std::vector<std::thread> threads_;
+};
+
+/**
+ * Ordered-reduce convenience: compute fn(i) for every index in
+ * parallel and return the results in index order — the submission
+ * order, independent of which lane ran what.
+ */
+template <typename T, typename Fn>
+std::vector<T>
+mapOrdered(WorkerPool& pool, std::size_t n, Fn&& fn)
+{
+    std::vector<T> out(n);
+    pool.parallelFor(n, [&](std::size_t i) { out[i] = fn(i); });
+    return out;
+}
+
+} // namespace osh
+
+#endif // OSH_BASE_POOL_HH

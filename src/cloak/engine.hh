@@ -24,6 +24,7 @@
 #define OSH_CLOAK_ENGINE_HH
 
 #include "base/expected.hh"
+#include "base/pool.hh"
 #include "base/stats.hh"
 #include "base/types.hh"
 #include "cloak/metadata.hh"
@@ -409,6 +410,18 @@ class CloakEngine : public vmm::CloakBackend
         auditLog_.setCapacity(entries);
     }
 
+    /**
+     * Host worker threads for the batched page-crypto paths
+     * (encryptPages / decryptPages and everything routed through them,
+     * including the prepareFramesForKernel pre-seal). 1 = the serial
+     * pre-pool behavior, 0 = one lane per hardware thread. Purely a
+     * host-speed knob: frames, metadata, victim-cache contents,
+     * simulated cycles and trace event order are identical for every
+     * setting (see encryptPagesParallel for the determinism argument).
+     */
+    void setCryptoWorkers(unsigned workers) { pool_.resize(workers); }
+    unsigned cryptoWorkers() const { return pool_.workers(); }
+
   private:
     struct PlaintextRef
     {
@@ -435,6 +448,16 @@ class CloakEngine : public vmm::CloakBackend
     /** decryptAndVerify with the cipher already looked up. */
     void decryptAndVerifyWith(Resource& res, std::uint64_t page_index,
                               PageMeta& meta, Gpa gpa,
+                              const crypto::Aes128& cipher);
+
+    /** Parallel fan-out/ordered-merge bodies of the batch API, used
+     *  when the pool has more than one lane and the batch more than
+     *  one item. Output-identical to the serial loops. */
+    void encryptPagesParallel(Resource& res,
+                              std::span<const PageCryptoItem> items,
+                              const crypto::Aes128& cipher);
+    void decryptPagesParallel(Resource& res,
+                              std::span<const PageCryptoItem> items,
                               const crypto::Aes128& cipher);
 
     /** Integrity hash of a ciphertext page bound to its identity. */
@@ -489,6 +512,9 @@ class CloakEngine : public vmm::CloakBackend
     VictimCache victims_;
     AuditLog auditLog_;
     StatGroup stats_;
+
+    /** Host lanes for the batch paths; one lane = no threads. */
+    WorkerPool pool_{1};
 };
 
 /** Application identity: hash of the program name (stands in for a

@@ -47,6 +47,16 @@ SystemConfig::Builder::build() const
             "SystemConfig: victimCacheEntries configured with "
             "cloaking disabled — nothing would ever use it");
     }
+    if (cfg_.cryptoWorkers > 256) {
+        throw std::invalid_argument(
+            "SystemConfig: cryptoWorkers > 256 — no host has that "
+            "many lanes (0 means one per hardware thread)");
+    }
+    if (!cfg_.cloakingEnabled && cfg_.cryptoWorkers > 1) {
+        throw std::invalid_argument(
+            "SystemConfig: cryptoWorkers configured with cloaking "
+            "disabled — there is no page crypto to parallelize");
+    }
     return cfg_;
 }
 
@@ -64,6 +74,8 @@ System::System(const SystemConfig& config)
         engine_->setCleanOptimization(config.cleanOptimization);
         engine_->setVictimCacheCapacity(config.victimCacheEntries);
         engine_->setAuditLogCapacity(config.auditLogEntries);
+        engine_->setCryptoWorkers(
+            static_cast<unsigned>(config.cryptoWorkers));
     }
     kernel_.setCloakingAvailable(engine_ != nullptr);
     kernel_.setProcessHost(this);

@@ -73,6 +73,15 @@ struct SystemConfig
     /** Audit ring capacity; oldest events drop (counted) once full. */
     std::size_t auditLogEntries = 256;
 
+    /**
+     * Host worker threads for batched page crypto (encryptPages /
+     * decryptPages / the prepareFramesForKernel pre-seal). 0 = one
+     * lane per hardware thread (the default), 1 = the serial pre-pool
+     * behavior. Purely a host-speed knob: simulated cycles, frames,
+     * metadata and trace event order are identical for every setting.
+     */
+    std::size_t cryptoWorkers = 0;
+
     class Builder;
 };
 
@@ -124,6 +133,11 @@ class SystemConfig::Builder
     Builder& auditLogEntries(std::size_t n)
     {
         cfg_.auditLogEntries = n;
+        return *this;
+    }
+    Builder& cryptoWorkers(std::size_t n)
+    {
+        cfg_.cryptoWorkers = n;
         return *this;
     }
 

@@ -85,6 +85,7 @@ Tracer::complete(Category cat, const char* name, Cycles begin,
     ev.end = end >= begin ? end : begin;
     ev.arg0 = arg0;
     ev.arg1 = arg1;
+    std::lock_guard<std::mutex> lk(recordMu_);
     buffer_.record(ev);
     metrics_.histogram(static_cast<std::uint8_t>(cat), name)
         .record(ev.duration());
@@ -106,6 +107,7 @@ Tracer::instant(Category cat, const char* name, DomainId domain,
     ev.end = at;
     ev.arg0 = arg0;
     ev.arg1 = arg1;
+    std::lock_guard<std::mutex> lk(recordMu_);
     buffer_.record(ev);
     metrics_.counter(static_cast<std::uint8_t>(cat), name)++;
 }
@@ -115,12 +117,14 @@ Tracer::count(Category cat, const char* name, std::uint64_t delta)
 {
     if (!enabled_)
         return;
+    std::lock_guard<std::mutex> lk(recordMu_);
     metrics_.counter(static_cast<std::uint8_t>(cat), name) += delta;
 }
 
 void
 Tracer::clear()
 {
+    std::lock_guard<std::mutex> lk(recordMu_);
     buffer_.clear();
     metrics_.reset();
 }

@@ -27,6 +27,7 @@
 #include "trace/metrics.hh"
 
 #include <cstdint>
+#include <mutex>
 #include <vector>
 
 #ifndef OSH_TRACE_ENABLED
@@ -116,6 +117,17 @@ struct TraceConfig
  * The per-machine tracing handle. Components never talk to the ring or
  * registry directly; they go through the OSH_TRACE_* macros, which
  * check `enabled()` first.
+ *
+ * Thread safety: the recording entry points (complete / instant /
+ * count / clear) serialize on an internal mutex, so concurrent
+ * emission is race-free. Deterministic event *order* is a stronger
+ * property the callers provide: the parallel page-crypto paths emit
+ * every event from their ordered merge on the calling thread (pool
+ * workers never trace), which is an ordered flush — the ring contents
+ * are identical for any worker count, and the mutex is only a backstop
+ * for future cross-thread emitters. Readers (buffer(), metrics(),
+ * snapshot()) must run with no recorder active, which every exporter
+ * already does (reports run after the measured phase).
  */
 class Tracer
 {
@@ -159,6 +171,8 @@ class Tracer
   private:
     bool enabled_;
     const Cycles* clock_ = nullptr;
+    /** Serializes ring + metrics mutation; taken only when enabled. */
+    std::mutex recordMu_;
     TraceBuffer buffer_;
     MetricsRegistry metrics_;
 };

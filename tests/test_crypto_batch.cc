@@ -11,10 +11,16 @@
  * by side — one batched, one sequential — and comparing everything
  * observable, including what happens when integrity verification
  * fails mid-batch.
+ *
+ * The same contract extends to the crypto worker pool: workers=N is
+ * purely a host-side speedup, so the Parallel* tests compare a
+ * multi-lane engine against a serial one and require byte-, cycle-
+ * and trace-identical results.
  */
 
 #include "cloak/engine.hh"
 #include "sim/machine.hh"
+#include "trace/trace.hh"
 #include "vmm/vcpu.hh"
 #include "vmm/vmm.hh"
 
@@ -69,9 +75,11 @@ class FakeOs : public vmm::GuestOsHooks
  */
 struct Harness
 {
-    explicit Harness(std::size_t victim_entries = 0)
-        : machine(sim::MachineConfig{256, 7, {}, {}}), vmm(machine, 256),
-          engine(vmm, 99, 64)
+    explicit Harness(std::size_t victim_entries = 0,
+                     bool tracing = false)
+        : machine(sim::MachineConfig{
+              256, 7, {}, trace::TraceConfig{tracing, 1 << 12}}),
+          vmm(machine, 256), engine(vmm, 99, 64)
     {
         vmm.setGuestOs(&os);
         engine.setVictimCacheCapacity(victim_entries);
@@ -357,6 +365,152 @@ TEST(CryptoBatch, SealPlaintextFramesMatchesFaultDrivenSeals)
     EXPECT_EQ(
         faulted.engine.stats().counter("foreign_plaintext_seals").value(),
         numPages);
+}
+
+/**
+ * Field-by-field trace comparison. Event order matters: the parallel
+ * merge must flush events in submission order, so the rings have to be
+ * identical streams, not just equal multisets.
+ */
+void
+expectTracesEqual(const Harness& parallel, const Harness& serial)
+{
+    auto pe = parallel.machine.tracer().buffer().snapshot();
+    auto se = serial.machine.tracer().buffer().snapshot();
+    ASSERT_EQ(pe.size(), se.size());
+    for (std::size_t i = 0; i < pe.size(); ++i) {
+        SCOPED_TRACE(testing::Message() << "event " << i);
+        EXPECT_EQ(pe[i].category, se[i].category);
+        EXPECT_STREQ(pe[i].name, se[i].name);
+        EXPECT_EQ(pe[i].domain, se[i].domain);
+        EXPECT_EQ(pe[i].pid, se[i].pid);
+        EXPECT_EQ(pe[i].begin, se[i].begin);
+        EXPECT_EQ(pe[i].end, se[i].end);
+        EXPECT_EQ(pe[i].arg0, se[i].arg0);
+        EXPECT_EQ(pe[i].arg1, se[i].arg1);
+    }
+}
+
+TEST(CryptoBatch, ParallelEncryptMatchesSerial)
+{
+    Harness parallel(0, true), serial(0, true);
+    parallel.engine.setCryptoWorkers(8);
+    ASSERT_EQ(parallel.engine.cryptoWorkers(), 8u);
+    ASSERT_EQ(serial.engine.cryptoWorkers(), 1u);
+
+    parallel.dirtyAll();
+    serial.dirtyAll();
+
+    auto pi = parallel.allItems();
+    parallel.engine.encryptPages(parallel.res(), pi);
+    auto si = serial.allItems();
+    serial.engine.encryptPages(serial.res(), si);
+
+    for (std::uint64_t i = 0; i < numPages; ++i)
+        EXPECT_EQ(observe(parallel, i), observe(serial, i))
+            << "page " << i;
+    EXPECT_EQ(parallel.machine.cost().cycles(),
+              serial.machine.cost().cycles());
+    expectTracesEqual(parallel, serial);
+}
+
+TEST(CryptoBatch, ParallelDecryptMatchesSerial)
+{
+    Harness parallel(0, true), serial(0, true);
+    parallel.engine.setCryptoWorkers(8);
+    for (Harness* h : {&parallel, &serial}) {
+        h->dirtyAll();
+        auto items = h->allItems();
+        h->engine.encryptPages(h->res(), items);
+    }
+
+    auto pi = parallel.allItems();
+    parallel.engine.decryptPages(parallel.res(), pi);
+    auto si = serial.allItems();
+    serial.engine.decryptPages(serial.res(), si);
+
+    for (std::uint64_t i = 0; i < numPages; ++i) {
+        PageObservation p = observe(parallel, i);
+        EXPECT_EQ(p, observe(serial, i)) << "page " << i;
+        EXPECT_EQ(p.state, PageState::PlaintextClean);
+        std::uint64_t word;
+        std::memcpy(&word, p.frame.data(), sizeof(word));
+        EXPECT_EQ(word, 0xfeed0000 + i);
+    }
+    EXPECT_EQ(parallel.machine.cost().cycles(),
+              serial.machine.cost().cycles());
+    expectTracesEqual(parallel, serial);
+}
+
+TEST(CryptoBatch, ParallelVictimCacheHitsMatchSerial)
+{
+    // Victim-cache capacity (8) below 2 * numPages keeps LRU eviction
+    // order load-bearing: any reordering of finds/inserts between the
+    // lanes would change which entries survive and the hit counters.
+    Harness parallel(8, true), serial(8, true);
+    parallel.engine.setCryptoWorkers(8);
+
+    for (Harness* h : {&parallel, &serial}) {
+        h->dirtyAll();
+        auto seal = h->allItems();
+        h->engine.encryptPages(h->res(), seal);
+        auto back = h->allItems();
+        h->engine.decryptPages(h->res(), back);
+        auto out = h->allItems();
+        h->engine.encryptPages(h->res(), out);
+    }
+
+    for (const char* counter :
+         {"victim_decrypt_hits", "victim_reencrypt_hits",
+          "clean_reencrypts", "page_encrypts", "page_decrypts"}) {
+        EXPECT_EQ(parallel.engine.stats().counter(counter).value(),
+                  serial.engine.stats().counter(counter).value())
+            << counter;
+    }
+    for (std::uint64_t i = 0; i < numPages; ++i)
+        EXPECT_EQ(observe(parallel, i), observe(serial, i))
+            << "page " << i;
+    EXPECT_EQ(parallel.machine.cost().cycles(),
+              serial.machine.cost().cycles());
+    expectTracesEqual(parallel, serial);
+}
+
+TEST(CryptoBatch, ParallelMidBatchTamperMatchesSerial)
+{
+    Harness parallel(0, true), serial(0, true);
+    parallel.engine.setCryptoWorkers(8);
+
+    for (Harness* h : {&parallel, &serial}) {
+        h->dirtyAll();
+        auto items = h->allItems();
+        h->engine.encryptPages(h->res(), items);
+        Mpa mpa = h->vmm.pmap().translate(Harness::gpa0 + 2 * pageSize);
+        auto frame = h->machine.memory().framePlain(mpa);
+        std::uint64_t w;
+        std::memcpy(&w, frame.data(), sizeof(w));
+        h->machine.memory().write64(mpa, w ^ 0x01);
+
+        auto batch = h->allItems();
+        EXPECT_THROW(h->engine.decryptPages(h->res(), batch),
+                     vmm::ProcessKilled);
+    }
+
+    // The abort point is identical: earlier pages decrypted, the
+    // tampered page and everything after it untouched, same audit
+    // entry, same cycles charged up to the kill.
+    for (std::uint64_t i = 0; i < numPages; ++i)
+        EXPECT_EQ(observe(parallel, i), observe(serial, i))
+            << "page " << i;
+    EXPECT_EQ(parallel.res().pages.at(2).state, PageState::Encrypted);
+    ASSERT_FALSE(parallel.engine.auditLog().empty());
+    ASSERT_FALSE(serial.engine.auditLog().empty());
+    EXPECT_EQ(parallel.engine.auditLog().back().code,
+              serial.engine.auditLog().back().code);
+    EXPECT_EQ(parallel.engine.auditLog().back().pageIndex,
+              serial.engine.auditLog().back().pageIndex);
+    EXPECT_EQ(parallel.machine.cost().cycles(),
+              serial.machine.cost().cycles());
+    expectTracesEqual(parallel, serial);
 }
 
 TEST(CryptoBatch, SealPlaintextFramesIgnoresIrrelevantFrames)

@@ -1,0 +1,175 @@
+/**
+ * @file
+ * WorkerPool unit tests: lifecycle, fan-out coverage, ordered reduce,
+ * exception propagation, and reuse after failure. The pool's contract
+ * is that scheduling is never observable when callers confine writes
+ * to per-index state — these tests hammer that with worker counts
+ * both below and far above the host's core count.
+ */
+
+#include "base/pool.hh"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace osh
+{
+namespace
+{
+
+TEST(WorkerPool, LaneAccounting)
+{
+    WorkerPool serial(1);
+    EXPECT_EQ(serial.workers(), 1u);
+
+    WorkerPool four(4);
+    EXPECT_EQ(four.workers(), 4u);
+
+    // 0 = hardware concurrency, clamped to at least one lane.
+    WorkerPool autod(0);
+    EXPECT_GE(autod.workers(), 1u);
+    EXPECT_EQ(autod.workers(), WorkerPool::hardwareWorkers());
+}
+
+TEST(WorkerPool, EveryIndexRunsExactlyOnce)
+{
+    constexpr std::size_t n = 1000;
+    for (unsigned workers : {1u, 2u, 8u}) {
+        WorkerPool pool(workers);
+        std::vector<std::atomic<int>> hits(n);
+        pool.parallelFor(n, [&](std::size_t i) { hits[i]++; });
+        for (std::size_t i = 0; i < n; ++i)
+            EXPECT_EQ(hits[i].load(), 1) << "index " << i
+                                         << " workers " << workers;
+    }
+}
+
+TEST(WorkerPool, EmptyAndSingleItemJobs)
+{
+    WorkerPool pool(4);
+    pool.parallelFor(0, [](std::size_t) { FAIL() << "ran on n=0"; });
+    int ran = 0;
+    pool.parallelFor(1, [&](std::size_t i) {
+        EXPECT_EQ(i, 0u);
+        ++ran;
+    });
+    EXPECT_EQ(ran, 1);
+}
+
+TEST(WorkerPool, MapOrderedReturnsSubmissionOrder)
+{
+    WorkerPool pool(8);
+    auto out = mapOrdered<std::uint64_t>(
+        pool, 512, [](std::size_t i) { return i * i; });
+    ASSERT_EQ(out.size(), 512u);
+    for (std::size_t i = 0; i < out.size(); ++i)
+        EXPECT_EQ(out[i], i * i);
+}
+
+TEST(WorkerPool, ResultsIdenticalAcrossWorkerCounts)
+{
+    // The deterministic fan-out/ordered-reduce property the cloak
+    // engine builds on: per-index outputs never depend on scheduling.
+    auto run = [](unsigned workers) {
+        WorkerPool pool(workers);
+        return mapOrdered<std::uint64_t>(pool, 257, [](std::size_t i) {
+            std::uint64_t h = i * 0x9e3779b97f4a7c15ull;
+            h ^= h >> 29;
+            return h;
+        });
+    };
+    auto ref = run(1);
+    EXPECT_EQ(run(2), ref);
+    EXPECT_EQ(run(16), ref);
+}
+
+TEST(WorkerPool, LowestIndexExceptionWins)
+{
+    WorkerPool pool(8);
+    std::atomic<int> executed{0};
+    try {
+        pool.parallelFor(100, [&](std::size_t i) {
+            executed++;
+            if (i == 7 || i == 63 || i == 99)
+                throw std::runtime_error("fail@" + std::to_string(i));
+        });
+        FAIL() << "expected a throw";
+    } catch (const std::runtime_error& e) {
+        EXPECT_STREQ(e.what(), "fail@7");
+    }
+    // Every index still ran (failures don't cancel the batch).
+    EXPECT_EQ(executed.load(), 100);
+}
+
+TEST(WorkerPool, SerialLaneThrowsInOrder)
+{
+    WorkerPool pool(1);
+    int executed = 0;
+    try {
+        pool.parallelFor(10, [&](std::size_t i) {
+            executed++;
+            if (i == 3)
+                throw std::logic_error("stop");
+        });
+        FAIL() << "expected a throw";
+    } catch (const std::logic_error&) {
+    }
+    // Inline lane stops at the first failure, like a plain loop.
+    EXPECT_EQ(executed, 4);
+}
+
+TEST(WorkerPool, UsableAfterException)
+{
+    WorkerPool pool(4);
+    EXPECT_THROW(pool.parallelFor(
+                     8, [](std::size_t) { throw std::runtime_error("x"); }),
+                 std::runtime_error);
+    std::atomic<std::uint64_t> sum{0};
+    pool.parallelFor(100, [&](std::size_t i) { sum += i; });
+    EXPECT_EQ(sum.load(), 4950u);
+}
+
+TEST(WorkerPool, ManySmallJobsReuseThreads)
+{
+    WorkerPool pool(4);
+    std::uint64_t total = 0;
+    for (int round = 0; round < 200; ++round) {
+        std::atomic<std::uint64_t> sum{0};
+        pool.parallelFor(16, [&](std::size_t i) { sum += i + 1; });
+        total += sum.load();
+    }
+    EXPECT_EQ(total, 200u * 136u);
+}
+
+TEST(WorkerPool, ResizeJoinsAndRespawns)
+{
+    WorkerPool pool(1);
+    EXPECT_EQ(pool.workers(), 1u);
+    pool.resize(6);
+    EXPECT_EQ(pool.workers(), 6u);
+    std::atomic<std::uint64_t> sum{0};
+    pool.parallelFor(64, [&](std::size_t i) { sum += i; });
+    EXPECT_EQ(sum.load(), 2016u);
+    pool.resize(1);
+    EXPECT_EQ(pool.workers(), 1u);
+    sum = 0;
+    pool.parallelFor(64, [&](std::size_t i) { sum += i; });
+    EXPECT_EQ(sum.load(), 2016u);
+}
+
+TEST(WorkerPool, DestructionWithIdleWorkers)
+{
+    // Construct-and-destroy with threads that never saw a job.
+    for (int i = 0; i < 20; ++i) {
+        WorkerPool pool(8);
+        (void)pool;
+    }
+}
+
+} // namespace
+} // namespace osh
