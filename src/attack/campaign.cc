@@ -1,0 +1,303 @@
+#include "attack/campaign.hh"
+
+#include "attack/director.hh"
+#include "cloak/engine.hh"
+#include "os/kernel.hh"
+#include "os/swap.hh"
+#include "os/vfs.hh"
+#include "system/system.hh"
+#include "trace/trace.hh"
+#include "workloads/workloads.hh"
+
+#include <algorithm>
+#include <cstring>
+#include <iomanip>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+
+namespace osh::attack
+{
+
+namespace
+{
+
+/** Little-endian byte image of the sentinel word. */
+std::array<std::uint8_t, 8>
+sentinelBytes(std::uint64_t sentinel)
+{
+    std::array<std::uint8_t, 8> out;
+    for (std::size_t i = 0; i < 8; ++i)
+        out[i] = static_cast<std::uint8_t>(sentinel >> (8 * i));
+    return out;
+}
+
+bool
+containsSentinel(std::span<const std::uint8_t> bytes,
+                 const std::array<std::uint8_t, 8>& pattern)
+{
+    if (bytes.size() < pattern.size())
+        return false;
+    return std::search(bytes.begin(), bytes.end(), pattern.begin(),
+                       pattern.end()) != bytes.end();
+}
+
+} // namespace
+
+/**
+ * Runs post-exit on purpose: while the victim lives, its plaintext
+ * legitimately sits in frames the MMU fences off; once it exits (or is
+ * killed) nothing cloaked may remain visible anywhere.
+ */
+std::string
+findSentinelLeak(system::System& sys, const AttackDirector& director,
+                 std::uint64_t sentinel)
+{
+    const auto pattern = sentinelBytes(sentinel);
+
+    sim::MachineMemory& mem = sys.machine().memory();
+    for (std::uint64_t f = 0; f < mem.numFrames(); ++f) {
+        if (containsSentinel(mem.framePlain(f * pageSize), pattern))
+            return "machine frame " + std::to_string(f);
+    }
+
+    os::SwapDevice& swap = sys.kernel().swap();
+    for (os::SwapSlot s = 0; s < swap.slotsBacked(); ++s) {
+        if (containsSentinel(swap.slotBytes(s), pattern))
+            return "swap slot " + std::to_string(s);
+    }
+
+    os::Vfs& vfs = sys.kernel().vfs();
+    for (os::InodeId id : vfs.inodeIds()) {
+        if (containsSentinel(vfs.inode(id).diskData, pattern))
+            return "vfs inode " + std::to_string(id);
+    }
+
+    if (cloak::CloakEngine* engine = sys.cloak()) {
+        for (const auto& [key, bundle] : engine->sealedStore()) {
+            if (containsSentinel(bundle, pattern))
+                return "sealed bundle " + std::to_string(key);
+        }
+    }
+
+    for (const auto& peek : director.snoops())
+        if (containsSentinel(peek, pattern))
+            return "snooped syscall buffer";
+    for (const auto& ghost : director.graveyard())
+        if (containsSentinel(ghost, pattern))
+            return "freed swap slot copy";
+    for (const auto& [key, page] : director.firstSwapVersions())
+        if (containsSentinel(page, pattern))
+            return "recorded swap version";
+    for (const auto& [key, bundle] : director.savedBundles())
+        if (containsSentinel(bundle, pattern))
+            return "recorded sealed bundle";
+    for (const vmm::RegisterFile& regs : director.trapFrames()) {
+        for (std::uint64_t g : regs.gpr)
+            if (g == sentinel)
+                return "trap-frame register";
+        if (regs.pc == sentinel || regs.sp == sentinel ||
+            regs.flags == sentinel)
+            return "trap-frame register";
+    }
+    return {};
+}
+
+const char*
+verdictName(Verdict v)
+{
+    switch (v) {
+      case Verdict::Harmless: return "HARMLESS";
+      case Verdict::Detected: return "DETECTED";
+      case Verdict::Leak: return "LEAK";
+      case Verdict::Crash: return "CRASH";
+    }
+    return "?";
+}
+
+void
+CampaignConfig::validate() const
+{
+    if (seeds.empty())
+        throw std::invalid_argument(
+            "CampaignConfig: no seeds — a campaign needs at least one "
+            "run per cell");
+    if (std::set<std::uint64_t>(seeds.begin(), seeds.end()).size() !=
+        seeds.size()) {
+        throw std::invalid_argument(
+            "CampaignConfig: duplicate seeds would rerun identical "
+            "cells and skew the verdict counts");
+    }
+    std::set<std::string> wl(workloads.begin(), workloads.end());
+    if (wl.size() != workloads.size())
+        throw std::invalid_argument(
+            "CampaignConfig: duplicate workloads");
+    const auto& known = workloads::victimNames();
+    for (const std::string& w : workloads) {
+        if (std::find(known.begin(), known.end(), w) == known.end())
+            throw std::invalid_argument(
+                "CampaignConfig: unknown victim workload '" + w + "'");
+    }
+    std::set<AttackPoint> pts(points.begin(), points.end());
+    if (pts.size() != points.size())
+        throw std::invalid_argument("CampaignConfig: duplicate points");
+    for (AttackPoint p : points) {
+        if (p >= AttackPoint::NumPoints)
+            throw std::invalid_argument(
+                "CampaignConfig: attack point out of range");
+    }
+}
+
+std::vector<AttackPoint>
+CampaignConfig::effectivePoints() const
+{
+    return points.empty() ? allAttackPoints() : points;
+}
+
+std::vector<std::string>
+CampaignConfig::effectiveWorkloads() const
+{
+    return workloads.empty() ? workloads::victimNames() : workloads;
+}
+
+std::size_t
+CampaignReport::count(Verdict v) const
+{
+    return static_cast<std::size_t>(
+        std::count_if(cells.begin(), cells.end(),
+                      [v](const CampaignCell& c) {
+                          return c.verdict == v;
+                      }));
+}
+
+std::string
+CampaignReport::table() const
+{
+    std::ostringstream out;
+    out << std::left << std::setw(6) << "seed" << std::setw(19)
+        << "point" << std::setw(20) << "workload" << std::setw(10)
+        << "verdict" << std::right << std::setw(8) << "firings"
+        << std::setw(8) << "audits" << std::setw(8) << "status"
+        << "\n";
+    out << std::string(79, '-') << "\n";
+    for (const CampaignCell& c : cells) {
+        out << std::left << std::setw(6) << c.seed << std::setw(19)
+            << attackPointName(c.point) << std::setw(20) << c.workload
+            << std::setw(10) << verdictName(c.verdict) << std::right
+            << std::setw(8) << c.firings << std::setw(8)
+            << c.auditEvents << std::setw(8) << c.status << "\n";
+    }
+    out << "totals: cells=" << cells.size()
+        << " harmless=" << count(Verdict::Harmless)
+        << " detected=" << count(Verdict::Detected)
+        << " leak=" << count(Verdict::Leak)
+        << " crash=" << count(Verdict::Crash) << "\n";
+    return out.str();
+}
+
+CampaignCell
+runCell(std::uint64_t seed, AttackPoint point,
+        const std::string& workload)
+{
+    CampaignCell cell;
+    cell.seed = seed;
+    cell.point = point;
+    cell.workload = workload;
+
+    // The paging victim must thrash: give it fewer frames than its
+    // arena so every page cycles through the (hostile) swap device.
+    bool paging = workload == "wl.victim.paging";
+    system::SystemConfig cfg = system::SystemConfig::Builder{}
+                                   .seed(seed)
+                                   .guestFrames(paging ? 96 : 512)
+                                   .cloaking(true)
+                                   .build();
+    system::System sys(cfg);
+    workloads::registerAll(sys);
+
+    DirectorConfig dcfg;
+    dcfg.point = point;
+    dcfg.seed = cfg.effectiveAttackSeed();
+    AttackDirector director(sys, dcfg);
+
+    system::ExitResult init = sys.runProgram(workload);
+    cell.firings = director.firings();
+    cell.status = init.status;
+
+    const cloak::CloakEngine* engine = sys.cloak();
+    cell.auditEvents = engine != nullptr ? engine->auditLog().size() : 0;
+
+    // Any process of the cell counts: a fork child killed for a cloak
+    // violation is a detection even though the parent exits oddly.
+    bool violation_kill = false;
+    bool other_kill = false;
+    std::string kill_reason;
+    for (const auto& [pid, res] : sys.results()) {
+        if (!res.killed)
+            continue;
+        cell.killed = true;
+        if (res.killReason.rfind("cloak violation", 0) == 0) {
+            violation_kill = true;
+            if (kill_reason.empty())
+                kill_reason = res.killReason;
+        } else {
+            other_kill = true;
+            kill_reason = res.killReason;
+        }
+    }
+
+    std::uint64_t sentinel = workloads::attackSentinel(seed);
+    std::string leak = findSentinelLeak(sys, director, sentinel);
+
+    if (!leak.empty()) {
+        cell.verdict = Verdict::Leak;
+        cell.detail = "sentinel found in " + leak;
+    } else if (other_kill) {
+        cell.verdict = Verdict::Crash;
+        cell.detail = "killed: " + kill_reason;
+    } else if (violation_kill) {
+        cell.verdict = Verdict::Detected;
+        cell.detail = kill_reason;
+    } else if (init.status == workloads::victimStatusRefused) {
+        cell.verdict = Verdict::Detected;
+        cell.detail = "protected-file open refused";
+    } else if (init.status == 0) {
+        cell.verdict = Verdict::Harmless;
+        cell.detail = "clean exit";
+    } else {
+        cell.verdict = Verdict::Crash;
+        cell.detail = "exit status " + std::to_string(init.status);
+    }
+    return cell;
+}
+
+CampaignReport
+runCampaign(const CampaignConfig& config)
+{
+    config.validate();
+    CampaignReport report;
+    auto cat = static_cast<std::uint8_t>(trace::Category::Attack);
+    const auto points = config.effectivePoints();
+    const auto workloads = config.effectiveWorkloads();
+    for (std::uint64_t seed : config.seeds) {
+        for (AttackPoint point : points) {
+            for (const std::string& wl : workloads) {
+                CampaignCell cell = runCell(seed, point, wl);
+                report.metrics.counter(cat, "cells")++;
+                report.metrics.counter(cat, "firings") +=
+                    cell.firings;
+                report.metrics.counter(
+                    cat, std::string("verdict_") +
+                             verdictName(cell.verdict))++;
+                report.metrics.counter(
+                    cat, std::string("point_") +
+                             attackPointName(cell.point) + "_" +
+                             verdictName(cell.verdict))++;
+                report.cells.push_back(std::move(cell));
+            }
+        }
+    }
+    return report;
+}
+
+} // namespace osh::attack

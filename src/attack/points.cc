@@ -1,0 +1,62 @@
+#include "attack/points.hh"
+
+namespace osh::attack
+{
+
+const char*
+attackPointName(AttackPoint p)
+{
+    switch (p) {
+      case AttackPoint::Baseline: return "baseline";
+      case AttackPoint::SwapTamperByte: return "swap_tamper_byte";
+      case AttackPoint::SwapTamperPage: return "swap_tamper_page";
+      case AttackPoint::SwapReplay: return "swap_replay";
+      case AttackPoint::SwapResurrect: return "swap_resurrect";
+      case AttackPoint::SealCorrupt: return "seal_corrupt";
+      case AttackPoint::SealTruncate: return "seal_truncate";
+      case AttackPoint::SealRollback: return "seal_rollback";
+      case AttackPoint::SyscallSnoop: return "syscall_snoop";
+      case AttackPoint::SyscallScribble: return "syscall_scribble";
+      case AttackPoint::ReadCorrupt: return "read_corrupt";
+      case AttackPoint::TrapFrameProbe: return "trap_frame_probe";
+      case AttackPoint::ShadowRemap: return "shadow_remap";
+      case AttackPoint::ShadowDoubleMap: return "shadow_double_map";
+      case AttackPoint::NumPoints: break;
+    }
+    return "?";
+}
+
+const std::vector<AttackPoint>&
+allAttackPoints()
+{
+    static const std::vector<AttackPoint> points = [] {
+        std::vector<AttackPoint> v;
+        for (std::uint8_t i = 0;
+             i < static_cast<std::uint8_t>(AttackPoint::NumPoints); ++i)
+            v.push_back(static_cast<AttackPoint>(i));
+        return v;
+    }();
+    return points;
+}
+
+bool
+isTamperPoint(AttackPoint p)
+{
+    switch (p) {
+      case AttackPoint::SwapTamperByte:
+      case AttackPoint::SwapTamperPage:
+      case AttackPoint::SwapReplay:
+      case AttackPoint::SwapResurrect:
+      case AttackPoint::SealCorrupt:
+      case AttackPoint::SealTruncate:
+      case AttackPoint::SealRollback:
+      case AttackPoint::SyscallScribble:
+      case AttackPoint::ShadowRemap:
+      case AttackPoint::ShadowDoubleMap:
+        return true;
+      default:
+        return false;
+    }
+}
+
+} // namespace osh::attack

@@ -69,8 +69,30 @@ MetadataStore::find(ResourceId id)
 void
 MetadataStore::destroyResource(ResourceId id)
 {
+    purgeCache(id);
     resources_.erase(id);
     stats_.counter("resources_destroyed").inc();
+}
+
+void
+MetadataStore::purgeCache(ResourceId res)
+{
+    // CacheKey ordering is (resource, page), so one range scan covers
+    // every page of the resource.
+    auto it = cacheIndex_.lower_bound(CacheKey{res, 0});
+    while (it != cacheIndex_.end() && it->first.first == res) {
+        lru_.erase(it->second);
+        it = cacheIndex_.erase(it);
+    }
+}
+
+void
+MetadataStore::evictToCapacity()
+{
+    while (cacheIndex_.size() > cacheCapacity_) {
+        cacheIndex_.erase(lru_.back());
+        lru_.pop_back();
+    }
 }
 
 void
@@ -86,10 +108,7 @@ MetadataStore::touchCache(ResourceId res, std::uint64_t page_index)
     cost_.charge(cost_.params().metadataMiss, "metadata_miss");
     lru_.push_front(key);
     cacheIndex_[key] = lru_.begin();
-    while (cacheIndex_.size() > cacheCapacity_) {
-        cacheIndex_.erase(lru_.back());
-        lru_.pop_back();
-    }
+    evictToCapacity();
 }
 
 PageMeta&
@@ -98,14 +117,19 @@ MetadataStore::page(Resource& res, std::uint64_t page_index)
     auto it = res.pages.find(page_index);
     if (it == res.pages.end()) {
         // Freshly created metadata is born hot in the cache: there is
-        // nothing to fetch or verify.
+        // nothing to fetch or verify. The key can already be cached
+        // when the page was destroyed and recreated (unseal reload);
+        // splice instead of inserting a duplicate node, which would
+        // orphan the old one and later erase the live index entry.
         CacheKey key{res.id, page_index};
         cost_.charge(cost_.params().metadataHit, "metadata_hit");
-        lru_.push_front(key);
-        cacheIndex_[key] = lru_.begin();
-        while (cacheIndex_.size() > cacheCapacity_) {
-            cacheIndex_.erase(lru_.back());
-            lru_.pop_back();
+        auto cit = cacheIndex_.find(key);
+        if (cit != cacheIndex_.end()) {
+            lru_.splice(lru_.begin(), lru_, cit->second);
+        } else {
+            lru_.push_front(key);
+            cacheIndex_[key] = lru_.begin();
+            evictToCapacity();
         }
         return res.pages[page_index];
     }
@@ -118,10 +142,7 @@ MetadataStore::setCacheCapacity(std::size_t capacity)
 {
     osh_assert(capacity > 0, "metadata cache needs capacity");
     cacheCapacity_ = capacity;
-    while (cacheIndex_.size() > cacheCapacity_) {
-        cacheIndex_.erase(lru_.back());
-        lru_.pop_back();
-    }
+    evictToCapacity();
 }
 
 std::vector<std::uint8_t>
@@ -221,6 +242,9 @@ MetadataStore::unseal(std::span<const std::uint8_t> bundle,
 
     dst.fileKey = file_key;
     dst.pages.clear();
+    // The reload drops every existing page; stale cache keys would
+    // otherwise occupy capacity forever (and alias recreated pages).
+    purgeCache(dst.id);
     for (std::uint64_t i = 0; i < count; ++i) {
         std::uint64_t idx, pv;
         get64(idx);

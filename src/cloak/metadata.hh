@@ -136,10 +136,30 @@ class MetadataStore
     /** Latest sealed version seen for a file key (rollback floor). */
     std::uint64_t lastSealedVersion(std::uint64_t file_key) const;
 
+    // Cache introspection (consistency tests) ------------------------------
+
+    /** Keys currently occupying cache capacity. */
+    std::size_t cacheSize() const { return cacheIndex_.size(); }
+    /** LRU list length; always equals cacheSize() when consistent. */
+    std::size_t lruLength() const { return lru_.size(); }
+    /** Whether (resource, page) is resident in the cache model. */
+    bool
+    cached(ResourceId res, std::uint64_t page_index) const
+    {
+        return cacheIndex_.find(CacheKey{res, page_index}) !=
+               cacheIndex_.end();
+    }
+
     StatGroup& stats() { return stats_; }
 
   private:
     void touchCache(ResourceId res, std::uint64_t page_index);
+
+    /** Drop every cached key of one resource (destroy/unseal reload). */
+    void purgeCache(ResourceId res);
+
+    /** Shrink the LRU to the configured capacity. */
+    void evictToCapacity();
 
     sim::CostModel& cost_;
     std::size_t cacheCapacity_;

@@ -36,7 +36,14 @@ OvershadowRuntime::launchForked(CloakEngine& engine, os::Env& env,
     std::array<std::uint64_t, 1> args{fork_token};
     std::int64_t domain = env.vcpu().hypercall(
         vmm::Hypercall::CloakForkAttach, args);
-    osh_assert(domain > 0, "fork attach rejected");
+    if (domain <= 0) {
+        // The engine refused to confer the parent's domain — a hostile
+        // kernel corrupted cloaked state between fork and attach (the
+        // rejection is audited). The child must not run half-attached;
+        // kill it gracefully rather than panic the simulator.
+        throw vmm::ProcessKilled{proc.pid,
+                                 "cloak violation: fork attach rejected"};
+    }
     proc.domain = static_cast<DomainId>(domain);
 
     env.vcpu().context().view = proc.domain;

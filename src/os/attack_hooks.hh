@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Injection points for a hostile guest kernel.
+ *
+ * MaliceConfig grew as a handful of one-shot toggles; AttackHooks is
+ * its generalization: an interface the attack campaign's director
+ * implements to interpose on every kernel touchpoint of cloaked state —
+ * syscall entry (snoop/scribble/trap-frame probes), read() returns,
+ * swap-out/-in (tamper, replay, resurrection), slot release (a hostile
+ * disk keeps copies the device itself scrubs), and the fsync/exec
+ * boundaries where sealed metadata bundles are exposed.
+ *
+ * Every hook runs *inside* the kernel, in kernel mode, with the full
+ * kernel view — exactly the vantage point of a compromised commodity
+ * OS. Hooks default to no-ops so a kernel without a director installed
+ * behaves identically to one built before this interface existed.
+ */
+
+#ifndef OSH_OS_ATTACK_HOOKS_HH
+#define OSH_OS_ATTACK_HOOKS_HH
+
+#include "base/types.hh"
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+namespace osh::os
+{
+
+class Kernel;
+class Thread;
+
+using SwapSlot = std::uint64_t;
+using InodeId = std::uint64_t;
+
+/** Hostile-kernel interposition interface (see file comment). */
+class AttackHooks
+{
+  public:
+    virtual ~AttackHooks() = default;
+
+    /**
+     * A syscall trapped into the kernel. Runs after the trap-frame is
+     * available and before dispatch, inside the kernel-mode guard: the
+     * hook may read/write user memory through the kernel view, probe
+     * the register file, or rewire guest translations.
+     */
+    virtual void onSyscallEntry(Kernel& kernel, Thread& thread)
+    {
+        (void)kernel;
+        (void)thread;
+    }
+
+    /**
+     * read() is about to return @p len bytes copied to user @p buf; a
+     * hostile kernel may rewrite them (buffer corruption).
+     */
+    virtual void onReadReturn(Kernel& kernel, Thread& thread, GuestVA buf,
+                              std::uint64_t len)
+    {
+        (void)kernel;
+        (void)thread;
+        (void)buf;
+        (void)len;
+    }
+
+    /**
+     * A page was written to swap slot @p slot. @p replay_key identifies
+     * the (asid, va page) owner so replay attacks can match versions.
+     * The hook may tamper with the slot via Kernel::swap().rawSlot().
+     */
+    virtual void onSwapOut(Kernel& kernel, SwapSlot slot,
+                           std::uint64_t replay_key)
+    {
+        (void)kernel;
+        (void)slot;
+        (void)replay_key;
+    }
+
+    /**
+     * A page was read back from swap into @p page and is about to be
+     * installed. The hook may substitute arbitrary bytes (replay /
+     * resurrection from a hostile disk's own copies).
+     */
+    virtual void onSwapIn(Kernel& kernel, SwapSlot slot,
+                          std::uint64_t replay_key,
+                          std::span<std::uint8_t> page)
+    {
+        (void)kernel;
+        (void)slot;
+        (void)replay_key;
+        (void)page;
+    }
+
+    /**
+     * Slot @p slot is about to be released (and scrubbed by the
+     * device). A hostile disk copies the bytes first, enabling
+     * freed-slot resurrection regardless of the scrub.
+     */
+    virtual void onSwapRelease(Kernel& kernel, SwapSlot slot)
+    {
+        (void)kernel;
+        (void)slot;
+    }
+
+    /**
+     * fsync(@p inode) completed writeback. Sealed metadata bundles are
+     * at rest now — the boundary where a hostile kernel corrupts,
+     * truncates or rolls them back.
+     */
+    virtual void onFsync(Kernel& kernel, Thread& thread, InodeId inode)
+    {
+        (void)kernel;
+        (void)thread;
+        (void)inode;
+    }
+
+    /**
+     * exec(@p program) rebuilt the process image (old domain already
+     * torn down, its file metadata sealed); second sealed-bundle attack
+     * boundary.
+     */
+    virtual void onExec(Kernel& kernel, Thread& thread,
+                        const std::string& program)
+    {
+        (void)kernel;
+        (void)thread;
+        (void)program;
+    }
+};
+
+} // namespace osh::os
+
+#endif // OSH_OS_ATTACK_HOOKS_HH

@@ -7,6 +7,7 @@
 
 #include "os/kernel.hh"
 
+#include "os/attack_hooks.hh"
 #include "os/exceptions.hh"
 
 #include "base/logging.hh"
@@ -262,6 +263,8 @@ Kernel::releasePte(Process& proc, GuestVA va_page, Pte& pte)
             }
         }
     } else if (pte.swapped) {
+        if (attackHooks_ != nullptr)
+            attackHooks_->onSwapRelease(*this, pte.slot);
         swap_.release(pte.slot);
     }
     pte = Pte{};
@@ -535,6 +538,8 @@ Kernel::swapOutAnon(Gpa gpa)
         if (fit == malice_.firstVersions.end())
             malice_.firstVersions[replay_key] = swap_.rawSlot(*slot);
     }
+    if (attackHooks_ != nullptr)
+        attackHooks_->onSwapOut(*this, *slot, replay_key);
 
     pte->present = false;
     pte->swapped = true;
@@ -563,6 +568,8 @@ Kernel::swapIn(Process& proc, GuestVA va_page, Pte& pte, const Vma& vma)
         if (fit != malice_.firstVersions.end())
             buf = fit->second;
     }
+    if (attackHooks_ != nullptr)
+        attackHooks_->onSwapIn(*this, slot, replay_key, buf);
 
     Gpa gpa = allocFrameOrEvict(FrameUse::Anon);
     writeFrameAsKernel(currentThread(), gpa, buf);
@@ -577,6 +584,8 @@ Kernel::swapIn(Process& proc, GuestVA va_page, Pte& pte, const Vma& vma)
     pte.present = true;
     pte.swapped = false;
     pte.writable = (vma.prot & protWrite) != 0 && !pte.cow;
+    if (attackHooks_ != nullptr)
+        attackHooks_->onSwapRelease(*this, slot);
     swap_.release(slot);
     stats_.counter("swap_ins").inc();
 }

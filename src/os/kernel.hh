@@ -38,6 +38,8 @@
 namespace osh::os
 {
 
+class AttackHooks;
+
 /**
  * Interface the system layer implements to create guest threads for
  * new processes (the kernel cannot do it: thread bodies need the
@@ -175,6 +177,15 @@ class Kernel : public vmm::GuestOsHooks
     SwapDevice& swap() { return swap_; }
     ProgramRegistry& programs() { return programs_; }
     MaliceConfig& malice() { return malice_; }
+
+    /**
+     * Install (or clear, with nullptr) the hostile-kernel hooks. The
+     * attack campaign's director uses this; the legacy MaliceConfig
+     * knobs keep working independently.
+     */
+    void setAttackHooks(AttackHooks* hooks) { attackHooks_ = hooks; }
+    AttackHooks* attackHooks() { return attackHooks_; }
+
     StatGroup& stats() { return stats_; }
 
     Process* findProcess(Pid pid);
@@ -289,6 +300,7 @@ class Kernel : public vmm::GuestOsHooks
 
     bool cloakingAvailable_ = true;
     MaliceConfig malice_;
+    AttackHooks* attackHooks_ = nullptr;
     StatGroup stats_;
 };
 

@@ -5,6 +5,7 @@
 
 #include "base/bytes.hh"
 #include "base/logging.hh"
+#include "os/attack_hooks.hh"
 #include "os/kernel.hh"
 #include "os/layout.hh"
 #include "vmm/vcpu.hh"
@@ -49,6 +50,8 @@ Kernel::syscallEntry(Thread& t)
             t.vcpu.writeBytes(malice_.snoopVa, junk);
         }
     }
+    if (attackHooks_ != nullptr)
+        attackHooks_->onSyscallEntry(*this, t);
 
     Sys num = static_cast<Sys>(regs.gpr[0]);
     std::uint64_t a1 = regs.gpr[1], a2 = regs.gpr[2], a3 = regs.gpr[3],
@@ -439,6 +442,8 @@ Kernel::sysRead(Thread& t, std::uint64_t fd, GuestVA buf, std::uint64_t len)
         std::size_t m = std::min<std::size_t>(junk.size(), n);
         copyToUser(t, buf, std::span<const std::uint8_t>(junk.data(), m));
     }
+    if (attackHooks_ != nullptr && n > 0)
+        attackHooks_->onReadReturn(*this, t, buf, n);
     stats_.counter("file_reads").inc();
     return static_cast<std::int64_t>(n);
 }
@@ -585,7 +590,7 @@ Kernel::sysFtruncate(Thread&, std::uint64_t fd, std::uint64_t size)
 }
 
 std::int64_t
-Kernel::sysFsync(Thread&, std::uint64_t fd)
+Kernel::sysFsync(Thread& t, std::uint64_t fd)
 {
     Process& p = currentProcess();
     OpenFile* f = p.fd(fd);
@@ -608,6 +613,8 @@ Kernel::sysFsync(Thread&, std::uint64_t fd)
         writebackPage(ino, idx, first);
         first = false;
     }
+    if (attackHooks_ != nullptr)
+        attackHooks_->onFsync(*this, t, ino.id);
     stats_.counter("fsyncs").inc();
     return 0;
 }
@@ -844,6 +851,8 @@ Kernel::sysExec(Thread& t, GuestVA name_va, GuestVA argv_va,
     t.hasPendingExec = true;
     t.pendingExecProgram = name;
     t.pendingExecArgv = std::move(argv);
+    if (attackHooks_ != nullptr)
+        attackHooks_->onExec(*this, t, name);
     stats_.counter("execs").inc();
     return 0;
 }

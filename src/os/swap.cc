@@ -36,9 +36,11 @@ SwapDevice::release(SwapSlot slot)
     osh_assert(slot < slots_.size() && used_[slot],
                "release of unused swap slot %llu",
                static_cast<unsigned long long>(slot));
+    slots_[slot].fill(0);
     used_[slot] = false;
     freeList_.push_back(slot);
     --inUse_;
+    stats_.counter("slots_scrubbed").inc();
 }
 
 void
@@ -71,6 +73,13 @@ std::array<std::uint8_t, pageSize>&
 SwapDevice::rawSlot(SwapSlot slot)
 {
     osh_assert(slot < slots_.size() && used_[slot], "rawSlot of bad slot");
+    return slots_[slot];
+}
+
+std::span<const std::uint8_t>
+SwapDevice::slotBytes(SwapSlot slot) const
+{
+    osh_assert(slot < slots_.size(), "slotBytes of unbacked slot");
     return slots_[slot];
 }
 

@@ -42,7 +42,13 @@ class SwapDevice
     /** Reserve a slot; nullopt when the device is full. */
     std::optional<SwapSlot> allocate();
 
-    /** Release a slot. */
+    /**
+     * Release a slot. The slot is scrubbed (zeroed) so a later owner of
+     * the same slot can never observe the previous occupant's bytes —
+     * freed-slot resurrection then requires an actively hostile disk
+     * that kept its own copy, which the attack campaign models. The
+     * scrub is bookkeeping, not modelled I/O: no cycles are charged.
+     */
     void release(SwapSlot slot);
 
     /** Write one page into a slot (charges disk costs). */
@@ -55,6 +61,17 @@ class SwapDevice
     std::array<std::uint8_t, pageSize>& rawSlot(SwapSlot slot);
 
     std::uint64_t slotsInUse() const { return inUse_; }
+
+    // Device inspection (leak oracle) --------------------------------------
+
+    /** Slots ever backed, in use or free. */
+    std::uint64_t slotsBacked() const { return slots_.size(); }
+    bool slotInUse(SwapSlot slot) const
+    {
+        return slot < used_.size() && used_[slot];
+    }
+    /** Bytes of any backed slot, free ones included (oracle scans). */
+    std::span<const std::uint8_t> slotBytes(SwapSlot slot) const;
 
     /** Attach the machine tracer (the owning kernel wires this). */
     void setTracer(trace::Tracer* tracer) { tracer_ = tracer; }

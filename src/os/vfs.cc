@@ -201,4 +201,14 @@ Vfs::reapIfUnreferenced(InodeId id)
     return pages;
 }
 
+std::vector<InodeId>
+Vfs::inodeIds() const
+{
+    std::vector<InodeId> ids;
+    ids.reserve(inodes_.size());
+    for (const auto& [id, node] : inodes_)
+        ids.push_back(id);
+    return ids;
+}
+
 } // namespace osh::os

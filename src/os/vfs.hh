@@ -113,6 +113,12 @@ class Vfs
      */
     std::vector<PageCacheEntry> reapIfUnreferenced(InodeId id);
 
+    /**
+     * Ids of every live inode, in id order. The attack campaign's leak
+     * oracle walks these to scan all kernel-visible file bytes.
+     */
+    std::vector<InodeId> inodeIds() const;
+
     StatGroup& stats() { return stats_; }
 
     /** Attach the machine tracer (the owning kernel wires this). */

@@ -57,6 +57,13 @@ SystemConfig::Builder::build() const
             "SystemConfig: cryptoWorkers configured with cloaking "
             "disabled — there is no page crypto to parallelize");
     }
+    if (cfg_.attackSeed != 0 && cfg_.attackSeed == cfg_.seed) {
+        throw std::invalid_argument(
+            "SystemConfig: attackSeed must differ from seed — an "
+            "attack schedule aliasing the workload stream correlates "
+            "the adversary with its victim (0 derives a distinct "
+            "stream)");
+    }
     return cfg_;
 }
 

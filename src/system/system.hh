@@ -82,6 +82,20 @@ struct SystemConfig
      */
     std::size_t cryptoWorkers = 0;
 
+    /**
+     * Seed for hostile-kernel attack injection (src/attack campaigns).
+     * 0 derives a distinct stream from the system seed, so the attack
+     * schedule never aliases workload randomness.
+     */
+    std::uint64_t attackSeed = 0;
+
+    /** The attack-injection seed actually used (resolves the 0 case). */
+    std::uint64_t
+    effectiveAttackSeed() const
+    {
+        return attackSeed != 0 ? attackSeed : seed ^ 0xa77acc5eedull;
+    }
+
     class Builder;
 };
 
@@ -138,6 +152,11 @@ class SystemConfig::Builder
     Builder& cryptoWorkers(std::size_t n)
     {
         cfg_.cryptoWorkers = n;
+        return *this;
+    }
+    Builder& attackSeed(std::uint64_t s)
+    {
+        cfg_.attackSeed = s;
         return *this;
     }
 

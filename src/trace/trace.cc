@@ -17,6 +17,7 @@ categoryName(Category cat)
       case Category::Syscall: return "syscall";
       case Category::Swap: return "swap";
       case Category::Vfs: return "vfs";
+      case Category::Attack: return "attack";
       case Category::User: return "user";
       case Category::NumCategories: break;
     }

@@ -48,6 +48,7 @@ enum class Category : std::uint8_t
     Syscall,   ///< Guest-kernel syscall dispatch.
     Swap,      ///< Swap-device slot traffic.
     Vfs,       ///< Page-cache fills and writebacks.
+    Attack,    ///< Hostile-kernel attack injections (campaigns).
     User,      ///< Free for examples/tests.
     NumCategories,
 };

@@ -25,13 +25,57 @@ Tlb::insert(const Context& ctx, GuestVA va_page, const ShadowEntry& entry)
 {
     Key key{ctx, va_page};
     if (entries_.find(key) == entries_.end()) {
-        while (entries_.size() >= capacity_) {
-            entries_.erase(fifo_.front());
-            fifo_.pop_front();
-        }
+        while (entries_.size() >= capacity_)
+            evictOne();
         fifo_.push_back(key);
+        ++queued_[key];
+        // Invalidations leave stale occurrences behind; keep the queue
+        // proportional to capacity regardless of the invalidation rate.
+        if (fifo_.size() > 2 * capacity_)
+            compactFifo();
     }
     entries_[key] = entry;
+}
+
+void
+Tlb::evictOne()
+{
+    while (!fifo_.empty()) {
+        Key victim = fifo_.front();
+        fifo_.pop_front();
+        auto qit = queued_.find(victim);
+        osh_assert(qit != queued_.end() && qit->second > 0,
+                   "TLB fifo key missing from occurrence index");
+        if (--qit->second > 0)
+            continue; // Stale occurrence; a newer one is queued behind.
+        queued_.erase(qit);
+        if (entries_.erase(victim) > 0) {
+            stats_.counter("evictions").inc();
+            return;
+        }
+        // Last occurrence of an invalidated key: nothing to evict.
+    }
+    osh_assert(entries_.empty(), "TLB entries live without fifo backing");
+}
+
+void
+Tlb::compactFifo()
+{
+    // Rebuild keeping only the newest occurrence of each live key,
+    // preserving relative FIFO order.
+    std::deque<Key> fresh;
+    std::unordered_map<Key, std::uint32_t, KeyHash> seen;
+    for (auto it = fifo_.rbegin(); it != fifo_.rend(); ++it) {
+        if (entries_.find(*it) == entries_.end())
+            continue;
+        if (seen.find(*it) != seen.end())
+            continue;
+        seen.emplace(*it, 1);
+        fresh.push_front(*it);
+    }
+    fifo_ = std::move(fresh);
+    queued_ = std::move(seen);
+    stats_.counter("fifo_compactions").inc();
 }
 
 void
@@ -74,6 +118,7 @@ Tlb::flushAll()
 {
     entries_.clear();
     fifo_.clear();
+    queued_.clear();
     stats_.counter("full_flushes").inc();
 }
 

@@ -45,6 +45,13 @@ class Tlb
 
     std::size_t size() const { return entries_.size(); }
 
+    /**
+     * Length of the replacement queue, including stale occurrences left
+     * behind by targeted invalidations (bounded by compaction; exposed
+     * for the regression tests).
+     */
+    std::size_t queueLength() const { return fifo_.size(); }
+
     StatGroup& stats() { return stats_; }
 
   private:
@@ -66,9 +73,20 @@ class Tlb
         }
     };
 
+    void evictOne();
+    void compactFifo();
+
     std::size_t capacity_;
     std::unordered_map<Key, ShadowEntry, KeyHash> entries_;
     std::deque<Key> fifo_;
+    /**
+     * Occurrences of each key in fifo_. Invalidations only erase
+     * entries_; a later re-insert queues the key again, so the queue can
+     * briefly hold duplicates. Eviction skips any occurrence that is not
+     * the key's newest (count > 0 after the pop), which keeps stale
+     * duplicates from evicting a live entry.
+     */
+    std::unordered_map<Key, std::uint32_t, KeyHash> queued_;
     StatGroup stats_;
 };
 

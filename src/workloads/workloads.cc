@@ -523,7 +523,262 @@ wlMemstress(Env& env)
     return writeResult(env, "wl.memstress", h);
 }
 
+// Attack-campaign victims --------------------------------------------------
+
+/** Fill @p pages whole pages at @p va with the sentinel word. */
+void
+plantSentinel(Env& env, GuestVA va, std::uint64_t pages,
+              std::uint64_t sentinel)
+{
+    for (std::uint64_t off = 0; off < pages * pageSize; off += 8)
+        env.store64(va + off, sentinel);
+}
+
+/** Re-read every sentinel word; false means silent corruption. */
+bool
+sentinelIntact(Env& env, GuestVA va, std::uint64_t pages,
+               std::uint64_t sentinel)
+{
+    for (std::uint64_t off = 0; off < pages * pageSize; off += 8)
+        if (env.load64(va + off) != sentinel)
+            return false;
+    return true;
+}
+
+/**
+ * Compute-category victim: sentinel arena + multiply-accumulate passes
+ * over a work arena, with getpid() traps between passes so syscall-
+ * boundary attacks (snoop/scribble/trap-frame/shadow) get to fire.
+ */
+int
+wlVictimCompute(Env& env)
+{
+    const std::uint64_t sentinel = attackSentinel(workloadSeed(env));
+    const std::uint64_t secret_pages = 4;
+    const std::uint64_t work_pages = 4;
+    const std::uint64_t work_words = work_pages * pageSize / 8;
+    GuestVA arena = env.allocPages(secret_pages + work_pages);
+    GuestVA work = arena + secret_pages * pageSize;
+
+    plantSentinel(env, arena, secret_pages, sentinel);
+    std::uint64_t s = workloadSeed(env) ^ 0xc09a;
+    for (std::uint64_t i = 0; i < work_words; ++i)
+        env.store64(work + i * 8, splitmix(s));
+    env.getpid();
+
+    for (std::uint64_t pass = 0; pass < 4; ++pass) {
+        for (std::uint64_t i = 0; i < work_words; ++i) {
+            std::uint64_t v = env.load64(work + i * 8);
+            env.store64(work + i * 8, v * fnvPrime + pass);
+        }
+        env.getpid();
+    }
+
+    // Verify: replay the whole computation against plain host locals.
+    std::uint64_t s2 = workloadSeed(env) ^ 0xc09a;
+    for (std::uint64_t i = 0; i < work_words; ++i) {
+        std::uint64_t v = splitmix(s2);
+        for (std::uint64_t pass = 0; pass < 4; ++pass)
+            v = v * fnvPrime + pass;
+        if (env.load64(work + i * 8) != v)
+            return victimStatusCorrupt;
+    }
+    if (!sentinelIntact(env, arena, secret_pages, sentinel))
+        return victimStatusCorrupt;
+    return 0;
+}
+
+/**
+ * Process-category victim: the sentinel arena is inherited by a fork
+ * child through cloaked COW; both sides verify. A child killed by the
+ * cloak engine surfaces in System::results() and the campaign
+ * classifier treats any cloak-violation kill as Detected, so the
+ * parent's exit code need not propagate the child's fate exactly.
+ */
+int
+wlVictimFork(Env& env)
+{
+    const std::uint64_t sentinel = attackSentinel(workloadSeed(env));
+    const std::uint64_t secret_pages = 4;
+    GuestVA arena = env.allocPages(secret_pages);
+    plantSentinel(env, arena, secret_pages, sentinel);
+    env.getpid();
+
+    Pid child = env.fork([arena, secret_pages, sentinel](Env& c) {
+        if (!sentinelIntact(c, arena, secret_pages, sentinel))
+            return victimStatusCorrupt;
+        // Dirty the COW pages from the child side, then re-verify.
+        for (std::uint64_t p = 0; p < secret_pages; ++p)
+            c.store64(arena + p * pageSize, sentinel);
+        c.getpid();
+        if (!sentinelIntact(c, arena, secret_pages, sentinel))
+            return victimStatusCorrupt;
+        return 33;
+    });
+    if (child < 0)
+        return 9;
+    int child_status = 0;
+    if (env.waitpid(child, &child_status) != child)
+        return 9;
+    if (child_status == victimStatusCorrupt)
+        return victimStatusCorrupt;
+
+    env.getpid();
+    if (!sentinelIntact(env, arena, secret_pages, sentinel))
+        return victimStatusCorrupt;
+    return child_status == 33 || child_status == -1 ? 0 : 9;
+}
+
+/**
+ * File-I/O-category victim: seals the sentinel into a protected file
+ * twice (v1 then v2), crossing two fsync boundaries and one exec
+ * boundary — the injection points for sealed-metadata corruption,
+ * truncation and rollback replay. The exec'd "read" phase re-opens the
+ * file: a refused open (the engine rejected tampered metadata) exits
+ * victimStatusRefused, silently wrong bytes exit victimStatusCorrupt.
+ */
+int
+wlVictimFileio(Env& env)
+{
+    const std::uint64_t sentinel = attackSentinel(workloadSeed(env));
+    const std::uint64_t file_pages = 2;
+    const std::uint64_t file_bytes = file_pages * pageSize;
+    const std::string path = "/cloaked/attack_vault";
+    const auto& args = env.args();
+    bool read_phase = !args.empty() && args[0] == "read";
+
+    if (!read_phase) {
+        env.mkdir("/cloaked");
+        GuestVA buf = env.allocPages(file_pages);
+        plantSentinel(env, buf, file_pages, sentinel);
+
+        // A plain scratch file whose fsync provides the boundary (the
+        // protected file's own I/O is emulated inside the shim and
+        // never traps). Contents are public — never the sentinel.
+        GuestVA pub = env.allocUncloakedPages(1);
+        env.store64(pub, 0x5a5a5a5a5a5a5a5aull);
+        std::int64_t sync_fd =
+            env.open("/victim_syncfile",
+                     os::openCreate | os::openWrite | os::openTrunc);
+        if (sync_fd < 0)
+            return 9;
+
+        for (std::uint64_t round = 0; round < 2; ++round) {
+            std::int64_t fd =
+                env.open(path, os::openCreate | os::openWrite |
+                                   os::openTrunc);
+            if (fd == -os::errPerm)
+                return victimStatusRefused;
+            if (fd < 0)
+                return 9;
+            if (env.write(fd, buf, file_bytes) !=
+                static_cast<std::int64_t>(file_bytes)) {
+                return 9;
+            }
+            env.close(fd); // close seals this version
+            if (env.write(sync_fd, pub, 8) != 8)
+                return 9;
+            env.fsync(sync_fd); // fsync boundary after each seal
+        }
+        env.close(sync_fd);
+        // Read the public scratch file back through the trapping read
+        // path. Its contents are kernel-controlled (unprotected), so
+        // the victim must tolerate whatever comes back — read-buffer
+        // corruption of *unprotected* data is outside the guarantee.
+        std::int64_t rb = env.open("/victim_syncfile", os::openRead);
+        if (rb < 0)
+            return 10;
+        env.read(rb, pub, 8);
+        env.close(rb);
+        env.exec("wl.victim.fileio", {"read"}); // exec boundary
+    }
+
+    std::int64_t fd = env.open(path, os::openRead);
+    if (fd == -os::errPerm)
+        return victimStatusRefused;
+    if (fd < 0)
+        return 9;
+    GuestVA back = env.allocPages(file_pages);
+    if (env.read(fd, back, file_bytes) !=
+        static_cast<std::int64_t>(file_bytes)) {
+        return victimStatusCorrupt;
+    }
+    env.close(fd);
+    if (!sentinelIntact(env, back, file_pages, sentinel))
+        return victimStatusCorrupt;
+    return 0;
+}
+
+/**
+ * Paging-category victim: an arena larger than guest memory (campaigns
+ * run it with guestFrames well below the arena size), so the sentinel
+ * and work pages cycle through swap — the injection point for swap
+ * tampering, replay, and freed-slot resurrection.
+ */
+int
+wlVictimPaging(Env& env)
+{
+    const std::uint64_t sentinel = attackSentinel(workloadSeed(env));
+    std::uint64_t pages = argAt(env, 0, 144);
+    std::uint64_t passes = argAt(env, 1, 2);
+    const std::uint64_t secret_pages = 4;
+    if (pages <= secret_pages)
+        return 9;
+    GuestVA arena = env.allocPages(pages);
+
+    plantSentinel(env, arena, secret_pages, sentinel);
+    std::uint64_t s = workloadSeed(env) ^ 0x9a61;
+    for (std::uint64_t p = secret_pages; p < pages; ++p)
+        env.store64(arena + p * pageSize, splitmix(s) | 1);
+
+    for (std::uint64_t pass = 0; pass < passes; ++pass) {
+        for (std::uint64_t p = secret_pages; p < pages; ++p) {
+            GuestVA va = arena + p * pageSize;
+            env.store64(va, env.load64(va) * fnvPrime + pass);
+            if (p % 32 == 0)
+                env.getpid();
+        }
+        // Touch the sentinel pages each pass so they keep swapping.
+        for (std::uint64_t p = 0; p < secret_pages; ++p)
+            if (env.load64(arena + p * pageSize) != sentinel)
+                return victimStatusCorrupt;
+    }
+
+    if (!sentinelIntact(env, arena, secret_pages, sentinel))
+        return victimStatusCorrupt;
+    std::uint64_t s2 = workloadSeed(env) ^ 0x9a61;
+    for (std::uint64_t p = secret_pages; p < pages; ++p) {
+        std::uint64_t v = splitmix(s2) | 1;
+        for (std::uint64_t pass = 0; pass < passes; ++pass)
+            v = v * fnvPrime + pass;
+        if (env.load64(arena + p * pageSize) != v)
+            return victimStatusCorrupt;
+    }
+    return 0;
+}
+
 } // namespace
+
+const std::vector<std::string>&
+victimNames()
+{
+    static const std::vector<std::string> names = {
+        "wl.victim.compute",
+        "wl.victim.fork",
+        "wl.victim.fileio",
+        "wl.victim.paging",
+    };
+    return names;
+}
+
+std::uint64_t
+attackSentinel(std::uint64_t system_seed)
+{
+    // High bit + low bit forced on so the sentinel can never collide
+    // with zeroed frames or small loop counters in kernel memory.
+    std::uint64_t s = system_seed ^ 0x0a77ac5e471e1ull;
+    return splitmix(s) | 0x8000000000000001ull;
+}
 
 const std::vector<std::string>&
 computeKernelNames()
@@ -554,6 +809,10 @@ registerAll(system::System& sys)
     add("wl.compile", wlCompile);
     add("wl.build", wlBuild);
     add("wl.memstress", wlMemstress);
+    add("wl.victim.compute", wlVictimCompute);
+    add("wl.victim.fork", wlVictimFork);
+    add("wl.victim.fileio", wlVictimFileio);
+    add("wl.victim.paging", wlVictimPaging);
 }
 
 std::string

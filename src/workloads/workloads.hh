@@ -38,6 +38,28 @@ const std::vector<std::string>& computeKernelNames();
 /** Register every workload program on a system. */
 void registerAll(system::System& sys);
 
+// Attack-campaign victims --------------------------------------------------
+//
+// wl.victim.{compute,fork,fileio,paging} plant a plaintext sentinel in
+// cloaked memory (and, for fileio, a protected file), do work in their
+// resource category, and self-verify. Exit protocol: 0 = clean run,
+// victimStatusRefused = a protected-file open was refused (the engine
+// rejected tampered sealed metadata), victimStatusCorrupt = the victim
+// observed silently corrupted cloaked data (a defense failure), any
+// other nonzero = harness/setup trouble.
+
+/** Names of the attack-victim programs (campaign matrix columns). */
+const std::vector<std::string>& victimNames();
+
+/**
+ * The 64-bit plaintext sentinel a victim plants for @p system_seed.
+ * Host-side oracles derive the same value to scan kernel-visible state.
+ */
+std::uint64_t attackSentinel(std::uint64_t system_seed);
+
+constexpr int victimStatusRefused = 42;
+constexpr int victimStatusCorrupt = 7;
+
 /** Read a guest file's contents from the host (for verification). */
 std::string readGuestFile(system::System& sys, const std::string& path);
 

@@ -1,0 +1,361 @@
+/**
+ * @file
+ * Attack-campaign matrix tests: the hostile-OS campaign (src/attack)
+ * must classify every attack-point × victim-workload × seed cell as
+ * Detected or Harmless — never Leak (sentinel oracle hit) and never
+ * Crash (silent corruption, non-cloak kill, or osh_panic). Also folds
+ * in the legacy MaliceConfig knob matrix, proves the leak oracle
+ * actually finds planted plaintext, and pins campaign determinism.
+ */
+
+#include "attack/campaign.hh"
+#include "attack/director.hh"
+#include "attack/points.hh"
+#include "os/env.hh"
+#include "os/kernel.hh"
+#include "os/layout.hh"
+#include "system/system.hh"
+#include "workloads/workloads.hh"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <stdexcept>
+
+namespace osh::attack
+{
+namespace
+{
+
+using system::System;
+using system::SystemConfig;
+
+std::string
+cellName(const CampaignCell& c)
+{
+    return "seed=" + std::to_string(c.seed) + " point=" +
+           attackPointName(c.point) + " workload=" + c.workload +
+           " detail=[" + c.detail + "]";
+}
+
+/** The full 3-seed sweep, run once and shared across tests. */
+class CampaignMatrix : public ::testing::Test
+{
+  protected:
+    static const CampaignReport&
+    report()
+    {
+        static const CampaignReport r = runCampaign(CampaignConfig{});
+        return r;
+    }
+
+    static const CampaignCell&
+    cell(std::uint64_t seed, AttackPoint point, const std::string& wl)
+    {
+        for (const CampaignCell& c : report().cells) {
+            if (c.seed == seed && c.point == point && c.workload == wl)
+                return c;
+        }
+        throw std::logic_error("campaign cell missing: " +
+                               std::string(attackPointName(point)) +
+                               " x " + wl);
+    }
+};
+
+TEST_F(CampaignMatrix, NeverLeaksOrCrashes)
+{
+    const CampaignReport& r = report();
+    ASSERT_EQ(r.cells.size(),
+              3 * allAttackPoints().size() *
+                  workloads::victimNames().size());
+    for (const CampaignCell& c : r.cells) {
+        EXPECT_NE(c.verdict, Verdict::Leak) << cellName(c);
+        EXPECT_NE(c.verdict, Verdict::Crash) << cellName(c);
+    }
+    EXPECT_TRUE(r.clean());
+}
+
+/** Any tampering attack that actually fired must have been caught —
+ *  a fired tamper that goes unnoticed is an integrity hole even if
+ *  the victim happened to exit cleanly. */
+TEST_F(CampaignMatrix, FiredTamperingIsAlwaysDetected)
+{
+    for (const CampaignCell& c : report().cells) {
+        if (isTamperPoint(c.point) && c.firings > 0) {
+            EXPECT_EQ(c.verdict, Verdict::Detected) << cellName(c);
+        }
+    }
+}
+
+/** The matrix has teeth: each tamper family must fire AND be detected
+ *  on the workload built to exercise its injection point. */
+TEST_F(CampaignMatrix, EveryTamperFamilyFiresAndIsDetected)
+{
+    const std::uint64_t seed = 1;
+
+    // Swap-path attacks need a victim that actually swaps.
+    for (AttackPoint p :
+         {AttackPoint::SwapTamperByte, AttackPoint::SwapTamperPage,
+          AttackPoint::SwapReplay, AttackPoint::SwapResurrect}) {
+        const CampaignCell& c = cell(seed, p, "wl.victim.paging");
+        EXPECT_GT(c.firings, 0u) << cellName(c);
+        EXPECT_EQ(c.verdict, Verdict::Detected) << cellName(c);
+    }
+
+    // Sealed-metadata attacks need a victim with protected files.
+    for (AttackPoint p :
+         {AttackPoint::SealCorrupt, AttackPoint::SealTruncate,
+          AttackPoint::SealRollback}) {
+        const CampaignCell& c = cell(seed, p, "wl.victim.fileio");
+        EXPECT_GT(c.firings, 0u) << cellName(c);
+        EXPECT_EQ(c.verdict, Verdict::Detected) << cellName(c);
+    }
+
+    // Direct memory scribbles and shadow-table lies hit every victim.
+    for (AttackPoint p :
+         {AttackPoint::SyscallScribble, AttackPoint::ShadowRemap,
+          AttackPoint::ShadowDoubleMap}) {
+        for (const std::string& wl : workloads::victimNames()) {
+            const CampaignCell& c = cell(seed, p, wl);
+            EXPECT_GT(c.firings, 0u) << cellName(c);
+            EXPECT_EQ(c.verdict, Verdict::Detected) << cellName(c);
+        }
+    }
+}
+
+/** Probe attacks only ever observe ciphertext or scrubbed registers:
+ *  they must complete without tripping the victim. */
+TEST_F(CampaignMatrix, ProbesFireButStayHarmless)
+{
+    for (const std::string& wl : workloads::victimNames()) {
+        const CampaignCell& snoop =
+            cell(1, AttackPoint::SyscallSnoop, wl);
+        EXPECT_GT(snoop.firings, 0u) << cellName(snoop);
+        EXPECT_EQ(snoop.verdict, Verdict::Harmless) << cellName(snoop);
+
+        const CampaignCell& trap =
+            cell(1, AttackPoint::TrapFrameProbe, wl);
+        EXPECT_GT(trap.firings, 0u) << cellName(trap);
+        EXPECT_EQ(trap.verdict, Verdict::Harmless) << cellName(trap);
+    }
+
+    // read() corruption of unprotected data is conceded by the threat
+    // model: the fileio victim reads a public file and must tolerate
+    // junk in it.
+    const CampaignCell& rc =
+        cell(1, AttackPoint::ReadCorrupt, "wl.victim.fileio");
+    EXPECT_GT(rc.firings, 0u) << cellName(rc);
+    EXPECT_EQ(rc.verdict, Verdict::Harmless) << cellName(rc);
+}
+
+TEST_F(CampaignMatrix, BaselineIsAlwaysHarmless)
+{
+    for (const CampaignCell& c : report().cells) {
+        if (c.point != AttackPoint::Baseline)
+            continue;
+        EXPECT_EQ(c.verdict, Verdict::Harmless) << cellName(c);
+        EXPECT_EQ(c.firings, 0u) << cellName(c);
+        EXPECT_FALSE(c.killed) << cellName(c);
+    }
+}
+
+TEST(AttackCampaign, SameSeedGivesIdenticalVerdictTable)
+{
+    CampaignConfig cfg;
+    cfg.seeds = {7};
+    cfg.points = {AttackPoint::SwapTamperPage, AttackPoint::SealRollback,
+                  AttackPoint::SyscallScribble, AttackPoint::ShadowRemap};
+    const std::string first = runCampaign(cfg).table();
+    const std::string second = runCampaign(cfg).table();
+    EXPECT_EQ(first, second);
+    EXPECT_NE(first.find("DETECTED"), std::string::npos);
+}
+
+TEST(AttackCampaign, ConfigValidationRejectsNonsense)
+{
+    {
+        CampaignConfig cfg;
+        cfg.seeds = {};
+        EXPECT_THROW(runCampaign(cfg), std::invalid_argument);
+    }
+    {
+        CampaignConfig cfg;
+        cfg.seeds = {1, 1};
+        EXPECT_THROW(runCampaign(cfg), std::invalid_argument);
+    }
+    {
+        CampaignConfig cfg;
+        cfg.workloads = {"wl.victim.compute", "wl.victim.compute"};
+        EXPECT_THROW(runCampaign(cfg), std::invalid_argument);
+    }
+    {
+        CampaignConfig cfg;
+        cfg.workloads = {"wl.no.such.victim"};
+        EXPECT_THROW(runCampaign(cfg), std::invalid_argument);
+    }
+    {
+        CampaignConfig cfg;
+        cfg.points = {AttackPoint::Baseline, AttackPoint::Baseline};
+        EXPECT_THROW(runCampaign(cfg), std::invalid_argument);
+    }
+}
+
+TEST(AttackCampaign, AttackSeedMustNotAliasWorkloadSeed)
+{
+    EXPECT_THROW(SystemConfig::Builder{}.seed(5).attackSeed(5).build(),
+                 std::invalid_argument);
+    SystemConfig cfg = SystemConfig::Builder{}.seed(5).build();
+    EXPECT_NE(cfg.effectiveAttackSeed(), cfg.seed);
+    SystemConfig explicit_cfg =
+        SystemConfig::Builder{}.seed(5).attackSeed(99).build();
+    EXPECT_EQ(explicit_cfg.effectiveAttackSeed(), 99u);
+}
+
+/** The oracle must actually find plaintext when it IS kernel-visible —
+ *  otherwise "zero LEAK verdicts" proves nothing. Plant the sentinel
+ *  in a public (unprotected) file from an uncloaked program and check
+ *  the scan reports it. */
+TEST(LeakOracle, FindsPlantedSentinel)
+{
+    const std::uint64_t seed = 11;
+    SystemConfig cfg = SystemConfig::Builder{}
+                           .seed(seed)
+                           .guestFrames(256)
+                           .cloaking(true)
+                           .build();
+    System sys(cfg);
+    workloads::registerAll(sys);
+
+    DirectorConfig dcfg;
+    dcfg.point = AttackPoint::Baseline;
+    dcfg.seed = cfg.effectiveAttackSeed();
+    AttackDirector director(sys, dcfg);
+
+    const std::uint64_t sentinel = workloads::attackSentinel(seed);
+    EXPECT_TRUE(findSentinelLeak(sys, director, sentinel).empty());
+
+    sys.addProgram("leaker", os::Program{
+        [sentinel](os::Env& env) {
+            GuestVA buf = env.allocPages(1);
+            env.store64(buf, sentinel);
+            int fd = env.open("/public_leak",
+                              os::openCreate | os::openWrite);
+            if (fd < 0)
+                return 1;
+            if (env.write(fd, buf, 8) != 8)
+                return 2;
+            env.close(fd);
+            return 0;
+        },
+        false, 16});
+    ASSERT_EQ(sys.runProgram("leaker").status, 0);
+
+    // The uncloaked leaker's plaintext is now kernel-visible twice
+    // over: in the un-scrubbed machine frame it wrote through, and in
+    // the public file's disk image. The scan reports the first surface
+    // it hits; any hit proves the oracle has teeth.
+    std::string leak = findSentinelLeak(sys, director, sentinel);
+    EXPECT_FALSE(leak.empty());
+    EXPECT_TRUE(leak.find("machine frame") != std::string::npos ||
+                leak.find("vfs inode") != std::string::npos)
+        << leak;
+}
+
+/**
+ * Legacy MaliceConfig knob matrix: every knob × every victim workload
+ * must end in a clean exit, a refused protected-file open, or a
+ * graceful cloak-violation kill — never silent corruption
+ * (victimStatusCorrupt), never a non-cloak kill, never a panic.
+ */
+class LegacyMalice
+    : public ::testing::TestWithParam<
+          std::tuple<std::string, std::string>>
+{
+};
+
+TEST_P(LegacyMalice, KnobNeverSilentlyCorrupts)
+{
+    const auto& [knob, workload] = GetParam();
+
+    bool paging = workload == "wl.victim.paging";
+    SystemConfig cfg = SystemConfig::Builder{}
+                           .seed(3)
+                           .guestFrames(paging ? 96 : 512)
+                           .cloaking(true)
+                           .build();
+    System sys(cfg);
+    workloads::registerAll(sys);
+
+    os::MaliceConfig& m = sys.kernel().malice();
+    if (knob == "snoop") {
+        m.snoopUserMemory = true;
+        m.snoopVa = os::mmapBase;
+    } else if (knob == "scribble") {
+        m.scribbleUserMemory = true;
+        m.snoopVa = os::mmapBase;
+    } else if (knob == "tamper_swap") {
+        m.tamperSwap = true;
+    } else if (knob == "replay_swap") {
+        m.replaySwap = true;
+    } else if (knob == "corrupt_read") {
+        m.corruptReadBuffers = true;
+    } else if (knob == "trap_frames") {
+        m.recordTrapFrames = true;
+    } else {
+        FAIL() << "unknown knob " << knob;
+    }
+
+    system::ExitResult init = sys.runProgram(workload);
+
+    bool violation_kill = false;
+    for (const auto& [pid, res] : sys.results()) {
+        if (!res.killed)
+            continue;
+        EXPECT_EQ(res.killReason.rfind("cloak violation", 0), 0u)
+            << "non-cloak kill under " << knob << " x " << workload
+            << ": " << res.killReason;
+        violation_kill = true;
+    }
+
+    bool acceptable = violation_kill || init.status == 0 ||
+                      init.status == workloads::victimStatusRefused;
+    EXPECT_TRUE(acceptable)
+        << knob << " x " << workload << " exited " << init.status
+        << " (killed=" << init.killed << " reason=" << init.killReason
+        << ")";
+    EXPECT_NE(init.status, workloads::victimStatusCorrupt)
+        << knob << " x " << workload
+        << ": victim observed silent corruption";
+
+    // Whatever the hostile kernel recorded, it holds no plaintext.
+    const std::uint64_t sentinel = workloads::attackSentinel(3);
+    for (const auto& bytes : m.snoopedData) {
+        std::uint64_t v = 0;
+        for (std::size_t off = 0; off + 8 <= bytes.size(); off += 8) {
+            std::memcpy(&v, bytes.data() + off, 8);
+            EXPECT_NE(v, sentinel);
+        }
+    }
+    for (const vmm::RegisterFile& regs : m.trapFrames) {
+        for (std::uint64_t g : regs.gpr)
+            EXPECT_NE(g, sentinel);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    KnobMatrix, LegacyMalice,
+    ::testing::Combine(
+        ::testing::Values("snoop", "scribble", "tamper_swap",
+                          "replay_swap", "corrupt_read", "trap_frames"),
+        ::testing::ValuesIn(workloads::victimNames())),
+    [](const auto& info) {
+        std::string name = std::get<0>(info.param) + "_" +
+                           std::get<1>(info.param);
+        for (char& c : name)
+            if (c == '.')
+                c = '_';
+        return name;
+    });
+
+} // namespace
+} // namespace osh::attack

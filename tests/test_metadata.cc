@@ -299,5 +299,59 @@ TEST_F(SealTest, SplicedPageCountRejected)
     EXPECT_FALSE(store_.unseal(bad, key_, owner_, dst));
 }
 
+// ---------------------------------------------------------------------------
+// LRU consistency regressions
+// ---------------------------------------------------------------------------
+
+TEST_F(MetadataTest, DestroyPurgesCachedKeys)
+{
+    // Regression: destroyResource left the resource's CacheKeys in the
+    // LRU, permanently occupying cache capacity.
+    Resource& a = store_.createResource(1);
+    for (std::uint64_t i = 0; i < 4; ++i)
+        store_.page(a, i);
+    ASSERT_EQ(store_.cacheSize(), 4u);
+    ResourceId id = a.id;
+    store_.destroyResource(id);
+    EXPECT_EQ(store_.cacheSize(), 0u);
+    EXPECT_EQ(store_.lruLength(), 0u);
+}
+
+TEST_F(MetadataTest, FreshPageWithCachedKeyDoesNotDuplicateLruNode)
+{
+    // Regression: recreating page metadata whose CacheKey was still
+    // cached pushed a duplicate LRU node, orphaning the old one; a
+    // later eviction of the orphan erased the *live* index entry.
+    Resource& a = store_.createResource(1);
+    store_.page(a, 0);
+    a.pages.clear(); // Metadata reload (the unseal path does this).
+    store_.page(a, 0);
+    EXPECT_EQ(store_.lruLength(), store_.cacheSize());
+
+    // Fill to capacity and roll the cache over; the index and list must
+    // stay in lockstep throughout.
+    for (std::uint64_t i = 1; i < 12; ++i)
+        store_.page(a, i);
+    EXPECT_EQ(store_.lruLength(), store_.cacheSize());
+    EXPECT_LE(store_.cacheSize(), 4u);
+}
+
+TEST_F(SealTest, UnsealPurgesStaleCachedKeys)
+{
+    Resource& src = makeFileResource();
+    auto bundle = store_.seal(src, key_, owner_);
+
+    Resource& dst = store_.createResource(2, true, 77);
+    store_.page(dst, 0); // Pre-unseal metadata occupies the cache.
+    store_.page(dst, 9);
+    ASSERT_TRUE(store_.cached(dst.id, 9));
+    ASSERT_TRUE(store_.unseal(bundle, key_, owner_, dst));
+    // The reload dropped every page; its cache keys must go with it
+    // (page 9 is not even in the bundle).
+    EXPECT_FALSE(store_.cached(dst.id, 0));
+    EXPECT_FALSE(store_.cached(dst.id, 9));
+    EXPECT_EQ(store_.lruLength(), store_.cacheSize());
+}
+
 } // namespace
 } // namespace osh::cloak

@@ -203,6 +203,31 @@ TEST(Swap, SlotRoundTrip)
     EXPECT_EQ(swap.slotsInUse(), 0u);
 }
 
+TEST(Swap, ReleaseScrubsSlotBytes)
+{
+    // Regression: release() left the freed slot's ciphertext in place,
+    // so allocate() handed the previous occupant's bytes to the next
+    // owner (freed-slot resurrection without even needing a hostile
+    // disk).
+    sim::CostModel cost;
+    SwapDevice swap(cost, 4);
+    auto slot = swap.allocate();
+    ASSERT_TRUE(slot.has_value());
+    std::array<std::uint8_t, pageSize> page;
+    page.fill(0xd7);
+    swap.writeSlot(*slot, page);
+    Cycles before = cost.cycles();
+    swap.release(*slot);
+    // The scrub is bookkeeping, not modelled disk I/O.
+    EXPECT_EQ(cost.cycles(), before);
+
+    auto again = swap.allocate();
+    ASSERT_TRUE(again.has_value());
+    EXPECT_EQ(*again, *slot); // LIFO free list hands the slot back.
+    for (std::uint8_t byte : swap.slotBytes(*again))
+        ASSERT_EQ(byte, 0u);
+}
+
 TEST(Swap, SlotsAreReused)
 {
     sim::CostModel cost;

@@ -156,6 +156,45 @@ TEST(Tlb, CapacityEviction)
     EXPECT_TRUE(tlb.lookup(ctx, 7 * pageSize).has_value());
 }
 
+TEST(Tlb, ReinsertAfterInvalidateDoesNotEvictLiveEntry)
+{
+    // Regression: invalidateVa used to leave the key's fifo occurrence
+    // behind, so a re-inserted key was queued twice and the stale front
+    // duplicate evicted the *live* re-inserted entry instead of the
+    // oldest survivor.
+    Tlb tlb(4);
+    Context ctx{1, 0, false};
+    tlb.insert(ctx, 0x1000, {0xa000, true, true}); // A
+    tlb.insert(ctx, 0x2000, {0xb000, true, true}); // B
+    tlb.invalidateVa(1, 0x1000);
+    tlb.insert(ctx, 0x1000, {0xa000, true, true}); // A again
+    tlb.insert(ctx, 0x3000, {0xc000, true, true}); // C
+    tlb.insert(ctx, 0x4000, {0xd000, true, true}); // D -> full
+
+    // The next insert must evict B (the oldest live entry), not the
+    // freshly re-inserted A via its stale queue duplicate.
+    tlb.insert(ctx, 0x5000, {0xe000, true, true}); // E
+    EXPECT_TRUE(tlb.lookup(ctx, 0x1000).has_value());
+    EXPECT_FALSE(tlb.lookup(ctx, 0x2000).has_value());
+    EXPECT_TRUE(tlb.lookup(ctx, 0x5000).has_value());
+    EXPECT_LE(tlb.size(), 4u);
+}
+
+TEST(Tlb, InvalidationChurnKeepsQueueBounded)
+{
+    // Regression: the replacement queue grew by one stale key per
+    // invalidate/re-insert cycle, unboundedly.
+    Tlb tlb(4);
+    Context ctx{1, 0, false};
+    for (int i = 0; i < 1000; ++i) {
+        GuestVA va = static_cast<GuestVA>(0x1000 + (i % 4) * pageSize);
+        tlb.insert(ctx, va, {0x100000 + va, true, true});
+        tlb.invalidateVa(1, va);
+    }
+    EXPECT_LE(tlb.queueLength(), 8u); // 2 * capacity compaction bound.
+    EXPECT_EQ(tlb.size(), 0u);
+}
+
 TEST(Tlb, InvalidationScopes)
 {
     Tlb tlb(16);
