@@ -2,6 +2,8 @@
 
 #include "attack/director.hh"
 #include "cloak/engine.hh"
+#include "migrate/checkpoint.hh"
+#include "migrate/live.hh"
 #include "os/kernel.hh"
 #include "os/swap.hh"
 #include "os/vfs.hh"
@@ -40,6 +42,16 @@ containsSentinel(std::span<const std::uint8_t> bytes,
         return false;
     return std::search(bytes.begin(), bytes.end(), pattern.begin(),
                        pattern.end()) != bytes.end();
+}
+
+/** Deterministic seed expansion for migration-tamper placement. */
+std::uint64_t
+mix64(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
 }
 
 } // namespace
@@ -195,23 +207,261 @@ CampaignReport::table() const
     return out.str();
 }
 
+namespace
+{
+
+system::SystemConfig
+victimSystemConfig(std::uint64_t seed, const std::string& workload)
+{
+    // The paging victim must thrash: give it fewer frames than its
+    // arena so every page cycles through the (hostile) swap device.
+    bool paging = workload == "wl.victim.paging";
+    return system::SystemConfig::Builder{}
+        .seed(seed)
+        .guestFrames(paging ? 96 : 512)
+        .cloaking(true)
+        .build();
+}
+
+/**
+ * Migration cells: two machines, an untrusted transport in between.
+ * The "attack" is the transport molesting checkpoint images or
+ * pre-copy stream segments; the defense is the chain-MAC'd image
+ * format plus the ticket carried out-of-band over the trusted
+ * VMM-to-VMM channel. A typed refusal (restore or stream apply) counts
+ * as Detected; tampered state accepted by the target is a defense
+ * failure. The leak oracle additionally scans every byte the transport
+ * saw — images and segments are attacker-visible and must be
+ * ciphertext-only.
+ *
+ * Only the compute and paging victims speak the cooperative-resume
+ * protocol; for the others the transport never gets traffic to molest
+ * and the victim just runs out its course on the source (Harmless).
+ */
 CampaignCell
-runCell(std::uint64_t seed, AttackPoint point,
-        const std::string& workload)
+runMigrationCell(std::uint64_t seed, AttackPoint point,
+                 const std::string& workload)
 {
     CampaignCell cell;
     cell.seed = seed;
     cell.point = point;
     cell.workload = workload;
 
-    // The paging victim must thrash: give it fewer frames than its
-    // arena so every page cycles through the (hostile) swap device.
-    bool paging = workload == "wl.victim.paging";
-    system::SystemConfig cfg = system::SystemConfig::Builder{}
-                                   .seed(seed)
-                                   .guestFrames(paging ? 96 : 512)
-                                   .cloaking(true)
-                                   .build();
+    system::SystemConfig cfg = victimSystemConfig(seed, workload);
+    system::System src(cfg);
+    workloads::registerAll(src);
+    system::System dst(cfg);
+    workloads::registerAll(dst);
+
+    // Baseline directors: no hostile behavior on either kernel — the
+    // attack lives in the transport — but the leak oracle wants each
+    // machine's recorded surfaces.
+    DirectorConfig dcfg;
+    dcfg.point = AttackPoint::Baseline;
+    dcfg.seed = cfg.effectiveAttackSeed();
+    AttackDirector src_dir(src, dcfg);
+    AttackDirector dst_dir(dst, dcfg);
+
+    const std::uint64_t aseed =
+        cfg.effectiveAttackSeed() ^ mix64(static_cast<std::uint64_t>(point));
+    const std::uint64_t entries = 12;
+    const std::uint64_t nonce = seed ^ 0x517e;
+
+    bool migratable = workload == "wl.victim.compute" ||
+                      workload == "wl.victim.paging";
+
+    std::vector<std::vector<std::uint8_t>> exposed;
+    std::string refusal;
+    bool accepted = false;
+    bool migrated = false;
+
+    int init_status = -1;
+    if (!migratable) {
+        // The fork victim's children exit with designed nonzero
+        // statuses; like the one-machine cells, only init's counts.
+        init_status = src.runProgram(workload).status;
+    } else if (point == AttackPoint::MigStreamReplay) {
+        Pid pid = src.launch(workload);
+        migrate::LiveOptions lopts;
+        lopts.nonce = nonce;
+        lopts.entriesPerRound = entries;
+        std::vector<std::uint8_t> first_segment;
+        lopts.interceptSegment = [&](std::uint64_t round,
+                                     std::vector<std::uint8_t>& seg) {
+            exposed.push_back(seg);
+            if (round == 0) {
+                first_segment = seg;
+                return;
+            }
+            // Replay the bulk round on the wire in place of every
+            // later round's traffic.
+            seg = first_segment;
+            ++cell.firings;
+        };
+        auto live = migrate::migrateLive(src, pid, dst, lopts);
+        if (!live.ok()) {
+            refusal = migrate::migrateErrorName(live.error());
+            // The aborted migration leaves the victim thawed on the
+            // source; let it run out its course there.
+            if (src.kernel().isFrozen(pid))
+                src.kernel().thaw(pid);
+            src.run();
+        } else {
+            migrated = true;
+            accepted = cell.firings > 0;
+        }
+    } else {
+        Pid pid = src.launch(workload);
+        src.kernel().requestFreeze(pid, entries);
+        src.run();
+        if (src.kernel().isFrozen(pid)) {
+            migrate::CheckpointOptions copts;
+            copts.nonce = nonce;
+            auto ckpt = migrate::checkpoint(src, pid, copts);
+            if (ckpt.ok()) {
+                std::vector<std::uint8_t> bytes = (*ckpt).image;
+                migrate::Ticket ticket = (*ckpt).ticket;
+                if (point == AttackPoint::MigImageTamper) {
+                    std::uint64_t off = mix64(aseed) % bytes.size();
+                    bytes[off] ^= static_cast<std::uint8_t>(
+                        1 + mix64(aseed ^ 1) % 255);
+                    ++cell.firings;
+                } else if (point == AttackPoint::MigManifestTrunc) {
+                    bytes.resize(1 + mix64(aseed) % (bytes.size() - 1));
+                    ++cell.firings;
+                } else { // MigImageRollback
+                    // Let the victim progress, cut a fresh image, then
+                    // re-present the stale one under the new ticket.
+                    src.kernel().thaw(pid);
+                    src.kernel().requestFreeze(pid, entries);
+                    src.run();
+                    if (src.kernel().isFrozen(pid)) {
+                        migrate::CheckpointOptions c2 = copts;
+                        c2.imageVersion = copts.imageVersion + 1;
+                        auto ckpt2 = migrate::checkpoint(src, pid, c2);
+                        if (ckpt2.ok()) {
+                            exposed.push_back((*ckpt2).image);
+                            ticket = (*ckpt2).ticket;
+                            ++cell.firings;
+                        }
+                    }
+                }
+                exposed.push_back(bytes);
+                if (cell.firings > 0) {
+                    auto restored =
+                        migrate::restore(dst, bytes, ticket);
+                    if (!restored.ok()) {
+                        refusal =
+                            migrate::migrateErrorName(restored.error());
+                    } else {
+                        accepted = true;
+                        migrated = true;
+                    }
+                }
+            }
+        }
+        // Whatever happened to the transfer, the source copy still
+        // holds the victim: thaw and let it finish there.
+        if (src.kernel().isFrozen(pid))
+            src.kernel().thaw(pid);
+        src.run();
+    }
+    if (migrated)
+        dst.run();
+
+    const cloak::CloakEngine* src_engine = src.cloak();
+    const cloak::CloakEngine* dst_engine = dst.cloak();
+    cell.auditEvents =
+        (src_engine != nullptr ? src_engine->auditLog().size() : 0) +
+        (dst_engine != nullptr ? dst_engine->auditLog().size() : 0);
+
+    // Exit status of the victim wherever it actually finished.
+    int status = -1;
+    bool violation_kill = false;
+    bool other_kill = false;
+    std::string kill_reason;
+    auto scanResults = [&](system::System& sys) {
+        for (const auto& [pid, res] : sys.results()) {
+            if (res.killed) {
+                cell.killed = true;
+                // A source copy abandoned after a successful transfer
+                // is protocol, not damage.
+                if (res.killReason == "migrated away")
+                    continue;
+                if (res.killReason.rfind("cloak violation", 0) == 0) {
+                    violation_kill = true;
+                    if (kill_reason.empty())
+                        kill_reason = res.killReason;
+                } else {
+                    other_kill = true;
+                    kill_reason = res.killReason;
+                }
+                continue;
+            }
+            status = res.status;
+        }
+    };
+    scanResults(src);
+    scanResults(dst);
+    cell.status = init_status >= 0 ? init_status
+                                   : (status < 0 ? 0 : status);
+
+    std::uint64_t sentinel = workloads::attackSentinel(seed);
+    const auto pattern = sentinelBytes(sentinel);
+    std::string leak;
+    for (const auto& bytes : exposed) {
+        if (containsSentinel(bytes, pattern)) {
+            leak = "migration transport bytes";
+            break;
+        }
+    }
+    if (leak.empty())
+        leak = findSentinelLeak(src, src_dir, sentinel);
+    if (leak.empty())
+        leak = findSentinelLeak(dst, dst_dir, sentinel);
+
+    if (!leak.empty()) {
+        cell.verdict = Verdict::Leak;
+        cell.detail = "sentinel found in " + leak;
+    } else if (other_kill) {
+        cell.verdict = Verdict::Crash;
+        cell.detail = "killed: " + kill_reason;
+    } else if (accepted) {
+        cell.verdict = Verdict::Crash;
+        cell.detail = "tampered migration state accepted";
+    } else if (!refusal.empty() && cell.firings > 0) {
+        cell.verdict = Verdict::Detected;
+        cell.detail = "migration refused: " + refusal;
+    } else if (violation_kill) {
+        cell.verdict = Verdict::Detected;
+        cell.detail = kill_reason;
+    } else if (cell.status == 0) {
+        cell.verdict = Verdict::Harmless;
+        cell.detail = migratable
+                          ? "attack never engaged the transfer"
+                          : "not a migration-capable victim";
+    } else {
+        cell.verdict = Verdict::Crash;
+        cell.detail = "exit status " + std::to_string(cell.status);
+    }
+    return cell;
+}
+
+} // namespace
+
+CampaignCell
+runCell(std::uint64_t seed, AttackPoint point,
+        const std::string& workload)
+{
+    if (isMigrationPoint(point))
+        return runMigrationCell(seed, point, workload);
+
+    CampaignCell cell;
+    cell.seed = seed;
+    cell.point = point;
+    cell.workload = workload;
+
+    system::SystemConfig cfg = victimSystemConfig(seed, workload);
     system::System sys(cfg);
     workloads::registerAll(sys);
 

@@ -21,6 +21,10 @@ attackPointName(AttackPoint p)
       case AttackPoint::TrapFrameProbe: return "trap_frame_probe";
       case AttackPoint::ShadowRemap: return "shadow_remap";
       case AttackPoint::ShadowDoubleMap: return "shadow_double_map";
+      case AttackPoint::MigImageTamper: return "mig_image_tamper";
+      case AttackPoint::MigImageRollback: return "mig_image_rollback";
+      case AttackPoint::MigStreamReplay: return "mig_stream_replay";
+      case AttackPoint::MigManifestTrunc: return "mig_manifest_trunc";
       case AttackPoint::NumPoints: break;
     }
     return "?";
@@ -53,6 +57,24 @@ isTamperPoint(AttackPoint p)
       case AttackPoint::SyscallScribble:
       case AttackPoint::ShadowRemap:
       case AttackPoint::ShadowDoubleMap:
+      case AttackPoint::MigImageTamper:
+      case AttackPoint::MigImageRollback:
+      case AttackPoint::MigStreamReplay:
+      case AttackPoint::MigManifestTrunc:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+isMigrationPoint(AttackPoint p)
+{
+    switch (p) {
+      case AttackPoint::MigImageTamper:
+      case AttackPoint::MigImageRollback:
+      case AttackPoint::MigStreamReplay:
+      case AttackPoint::MigManifestTrunc:
         return true;
       default:
         return false;

@@ -6,7 +6,9 @@
  * to break a cloaked application: tampering with swap traffic,
  * corrupting sealed metadata bundles at persistence boundaries,
  * snooping or scribbling user memory at syscall entry, probing trap
- * frames, or lying to the VMM's shadow walker about guest page tables.
+ * frames, lying to the VMM's shadow walker about guest page tables, or
+ * molesting checkpoint images and live pre-copy streams in the
+ * untrusted migration transport between two machines.
  * The AttackDirector implements the behavior; campaigns sweep the
  * whole enum against every victim workload.
  *
@@ -47,6 +49,10 @@ enum class AttackPoint : std::uint8_t
     TrapFrameProbe,  ///< Record register files at syscall entry.
     ShadowRemap,     ///< Lie to the shadow walker: va_a -> frame(va_b).
     ShadowDoubleMap, ///< Swap two VAs' translations (one frame, two VAs).
+    MigImageTamper,  ///< Flip a seeded byte of a checkpoint image in flight.
+    MigImageRollback,///< Re-present a stale checkpoint image to the target.
+    MigStreamReplay, ///< Replay round 0's pre-copy segment in later rounds.
+    MigManifestTrunc,///< Truncate the checkpoint image mid-transfer.
     NumPoints,
 };
 
@@ -61,6 +67,13 @@ const std::vector<AttackPoint>& allAttackPoints();
  * may fire and stay Harmless (nothing cloaked is exposed).
  */
 bool isTamperPoint(AttackPoint p);
+
+/**
+ * Migration points molest the checkpoint/live-migration transport
+ * between two machines instead of one machine's kernel surfaces; the
+ * campaign runs them through a dedicated two-System cell runner.
+ */
+bool isMigrationPoint(AttackPoint p);
 
 } // namespace osh::attack
 

@@ -6,6 +6,7 @@
 #include "vmm/vcpu.hh"
 
 #include <cstring>
+#include <set>
 
 namespace osh::cloak
 {
@@ -677,6 +678,62 @@ CloakEngine::sealPlaintextFrames(std::span<const Gpa> gpas)
     if (sealed > 0)
         stats_.counter("preseal_frames").inc(sealed);
     return sealed;
+}
+
+std::size_t
+CloakEngine::sealDomainPlaintext(DomainId id)
+{
+    auto dit = domains_.find(id);
+    if (dit == domains_.end())
+        return 0;
+    Domain& d = dit->second;
+
+    // Regions can share a resource (explicit re-registration), so walk
+    // each resource once. Within a resource every resident plaintext
+    // page goes through one encryptPages() batch; encryptPageWith does
+    // the per-page bookkeeping (plaintext index, state, shadow
+    // suspension) exactly as the eviction path would.
+    std::set<ResourceId> seen;
+    std::size_t sealed = 0;
+    for (Region& r : d.regions) {
+        if (!seen.insert(r.resource).second)
+            continue;
+        Resource* res = metadata_.find(r.resource);
+        if (res == nullptr)
+            continue;
+        std::vector<PageCryptoItem> items;
+        for (auto& [idx, meta] : res->pages) {
+            if (meta.state == PageState::Encrypted ||
+                meta.residentGpa == badAddr)
+                continue;
+            auto pit = plaintextIndex_.find(meta.residentGpa);
+            if (pit == plaintextIndex_.end() ||
+                pit->second.resource != res->id ||
+                pit->second.pageIndex != idx)
+                continue;
+            items.push_back({idx, &meta, meta.residentGpa});
+        }
+        if (items.empty())
+            continue;
+        encryptPages(*res, items);
+        sealed += items.size();
+    }
+    if (sealed > 0)
+        stats_.counter("domain_seals_pages").inc(sealed);
+    return sealed;
+}
+
+Resource&
+CloakEngine::importResource(DomainId domain, ResourceId key_id,
+                            bool is_file, std::uint64_t file_key)
+{
+    Domain& d = domainOf(domain);
+    (void)d;
+    Resource& res = metadata_.createResource(domain, is_file, file_key);
+    res.keyId = key_id;
+    metadata_.reserveIds(key_id + 1);
+    stats_.counter("resources_imported").inc();
+    return res;
 }
 
 vmm::ResolvedPage

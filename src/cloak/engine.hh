@@ -377,6 +377,38 @@ class CloakEngine : public vmm::CloakBackend
                                               Pid child_pid,
                                               std::uint64_t token);
 
+    // Checkpoint/restore & live migration services ------------------------
+
+    /**
+     * Encrypt every resident plaintext page of a domain in place,
+     * batched per resource (the same bulk path prepareFramesForKernel
+     * uses). After this the domain's entire protected state is
+     * ciphertext + metadata — the canonical form a checkpoint image or
+     * a pre-copy round serializes. Returns the number of pages sealed.
+     */
+    std::size_t sealDomainPlaintext(DomainId id);
+
+    /**
+     * MAC key for a migration image/stream identified by @p nonce.
+     * Derived from the VMM master secret: source and target VMMs
+     * sharing a platform secret derive the same key (the trusted
+     * VMM-to-VMM channel of the paper's migration sketch).
+     */
+    crypto::Digest migrationKey(std::uint64_t nonce) const
+    {
+        return keys_.migrationKey(nonce);
+    }
+
+    /**
+     * Restore-side resource materialization: create a resource for
+     * @p domain whose key identity @p key_id was minted on the source
+     * machine, and reserve the local id space past it so no future
+     * resource aliases the imported key.
+     */
+    Resource& importResource(DomainId domain, ResourceId key_id,
+                             bool is_file = false,
+                             std::uint64_t file_key = 0);
+
     /** Protected-file support. */
     Expected<ResourceId, CloakError>
     attachFileResource(DomainId domain, std::uint64_t file_key);

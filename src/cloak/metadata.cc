@@ -278,4 +278,22 @@ MetadataStore::lastSealedVersion(std::uint64_t file_key) const
     return it == sealVersions_.end() ? 0 : it->second;
 }
 
+void
+MetadataStore::importSealVersions(
+    const std::map<std::uint64_t, std::uint64_t>& floors)
+{
+    for (const auto& [file_key, version] : floors) {
+        std::uint64_t& floor_version = sealVersions_[file_key];
+        if (version > floor_version)
+            floor_version = version;
+    }
+}
+
+void
+MetadataStore::reserveIds(ResourceId min_next)
+{
+    if (min_next > nextId_)
+        nextId_ = min_next;
+}
+
 } // namespace osh::cloak

@@ -136,6 +136,33 @@ class MetadataStore
     /** Latest sealed version seen for a file key (rollback floor). */
     std::uint64_t lastSealedVersion(std::uint64_t file_key) const;
 
+    // Checkpoint/restore --------------------------------------------------
+
+    /**
+     * The full rollback-floor table (file key -> newest sealed bundle
+     * version witnessed). A checkpoint must carry it: a restored store
+     * that forgot the floors would accept replayed older bundles.
+     */
+    const std::map<std::uint64_t, std::uint64_t>& sealVersions() const
+    {
+        return sealVersions_;
+    }
+
+    /**
+     * Merge an imported rollback-floor table, keeping the maximum per
+     * file key (floors only ever advance).
+     */
+    void importSealVersions(
+        const std::map<std::uint64_t, std::uint64_t>& floors);
+
+    /**
+     * Ensure future resource ids start at @p min_next or later. An
+     * import materializes resources whose keyIds were minted on another
+     * machine; without reserving, a later createResource could mint an
+     * id equal to an imported keyId and alias its derived AES key.
+     */
+    void reserveIds(ResourceId min_next);
+
     // Cache introspection (consistency tests) ------------------------------
 
     /** Keys currently occupying cache capacity. */

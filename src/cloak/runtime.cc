@@ -54,6 +54,22 @@ OvershadowRuntime::launchForked(CloakEngine& engine, os::Env& env,
     return shim;
 }
 
+std::unique_ptr<Shim>
+OvershadowRuntime::launchRestored(CloakEngine& engine, os::Env& env,
+                                  GuestVA ctc_va, GuestVA bounce_va)
+{
+    os::Process& proc = env.process();
+    osh_assert(proc.cloaked && proc.domain != systemDomain,
+               "restored launch without an imported domain");
+
+    env.vcpu().context().view = proc.domain;
+    env.vcpu().vmm().chargeWorldSwitch("cloak_restore_launch");
+
+    auto shim = std::make_unique<Shim>(engine, proc.domain, env);
+    shim->initialize(Shim::InheritedLayout{ctc_va, bounce_va});
+    return shim;
+}
+
 void
 OvershadowRuntime::teardown(CloakEngine& engine, os::Env& env, Shim* shim)
 {

@@ -40,6 +40,18 @@ class OvershadowRuntime
                                               GuestVA parent_ctc,
                                               GuestVA parent_bounce);
 
+    /**
+     * Attach a restored (migrated-in) process to the domain the
+     * migrate layer imported for it, inheriting the CTC/bounce layout
+     * serialized in the checkpoint image. Regions are already
+     * registered (the import did it), so only the view switch, the
+     * shim hooks and the CTC thread registration remain.
+     */
+    static std::unique_ptr<Shim> launchRestored(CloakEngine& engine,
+                                                os::Env& env,
+                                                GuestVA ctc_va,
+                                                GuestVA bounce_va);
+
     /** Final teardown when the process exits (any path). */
     static void teardown(CloakEngine& engine, os::Env& env, Shim* shim);
 };

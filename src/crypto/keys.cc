@@ -54,6 +54,15 @@ KeyManager::sealingKey(ResourceId resource) const
     return it->second;
 }
 
+Digest
+KeyManager::migrationKey(std::uint64_t nonce) const
+{
+    std::uint8_t info[16] = {};
+    storeLe64(info, nonce);
+    std::memcpy(info + 8, "migrkey\0", 8);
+    return hmacSha256(masterHmac_, info);
+}
+
 const HmacKey&
 KeyManager::sealingHmacKey(ResourceId resource) const
 {

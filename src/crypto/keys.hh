@@ -54,6 +54,15 @@ class KeyManager
      */
     const HmacKey& sealingHmacKey(ResourceId resource) const;
 
+    /**
+     * The 256-bit key that MACs a migration image or pre-copy stream
+     * identified by @p nonce. Two KeyManagers seeded with the same
+     * master secret (the paper's trusted VMM-to-VMM channel; here, the
+     * shared simulation seed) derive the same key, so the target can
+     * verify every record the source chained under it.
+     */
+    Digest migrationKey(std::uint64_t nonce) const;
+
     /** Number of distinct resource keys derived so far. */
     std::size_t derivedKeyCount() const { return ciphers_.size(); }
 

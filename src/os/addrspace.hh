@@ -122,6 +122,14 @@ class AddressSpace
         fileMapCursor_ = other.fileMapCursor_;
     }
 
+    // Arena cursors, individually (checkpoint/restore serializes them:
+    // future mmaps of a restored process must not collide with
+    // rehydrated mappings).
+    GuestVA mmapCursor() const { return mmapCursor_; }
+    GuestVA fileMapCursor() const { return fileMapCursor_; }
+    void setMmapCursor(GuestVA va) { mmapCursor_ = va; }
+    void setFileMapCursor(GuestVA va) { fileMapCursor_ = va; }
+
   private:
     Asid asid_;
     std::map<GuestVA, Vma> vmas_;           ///< Keyed by start VA.

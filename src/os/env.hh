@@ -209,6 +209,12 @@ class Env
                         static_cast<std::uint64_t>(sig)});
     }
 
+    /** Query the i-th VMA of this process (register-only ABI). */
+    std::int64_t vmaQuery(std::uint64_t index, std::uint64_t field)
+    {
+        return syscall(Sys::VmaQuery, {index, field});
+    }
+
     /** Register a user signal handler (runs at syscall boundaries). */
     void onSignal(int sig, std::function<void(Env&, int)> handler);
 

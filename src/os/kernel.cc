@@ -247,6 +247,48 @@ Kernel::checkKillRequested(Thread& t)
 }
 
 void
+Kernel::requestFreeze(Pid pid, std::uint64_t after_entries)
+{
+    // The thread may not have run (and bound) yet — a request right
+    // after launch() is fine; the countdown is keyed by pid.
+    osh_assert(findProcess(pid) != nullptr,
+               "freeze request for an unknown process");
+    freezeRequests_[pid] = after_entries == 0 ? 1 : after_entries;
+}
+
+bool
+Kernel::isFrozen(Pid pid)
+{
+    Thread* t = threadOf(pid);
+    return t != nullptr && sched_.isFrozen(*t);
+}
+
+void
+Kernel::thaw(Pid pid)
+{
+    Thread* t = threadOf(pid);
+    osh_assert(t != nullptr && sched_.isFrozen(*t),
+               "thaw of a process that is not frozen");
+    sched_.resumeFrozen(*t);
+}
+
+void
+Kernel::checkFreezeRequested(Thread& t)
+{
+    auto it = freezeRequests_.find(t.pid);
+    if (it == freezeRequests_.end())
+        return;
+    if (--it->second > 0)
+        return;
+    freezeRequests_.erase(it);
+    stats_.counter("freezes").inc();
+    sched_.freezeCurrent();
+    // Thawed: either the checkpoint completed and the source resumes
+    // (live-migration rounds), or a kill is pending (source abandon).
+    checkKillRequested(t);
+}
+
+void
 Kernel::releasePte(Process& proc, GuestVA va_page, Pte& pte)
 {
     if (pte.present) {

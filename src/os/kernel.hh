@@ -169,6 +169,23 @@ class Kernel : public vmm::GuestOsHooks
     /** Timer interrupt: scheduling tick (+ pending kill/signal checks). */
     void timerTick(Thread& thread);
 
+    // Checkpoint quiesce --------------------------------------------------
+
+    /**
+     * Driver context: ask that @p pid be frozen at its @p after_entries
+     * -th kernel entry (syscall or timer tick) from now. The thread
+     * parks at a trap boundary — registers saved to its CTC for cloaked
+     * processes — and the scheduler pauses once nothing else is
+     * runnable, handing control back to the checkpointing driver.
+     */
+    void requestFreeze(Pid pid, std::uint64_t after_entries = 1);
+
+    /** Is this process's thread parked on the freeze channel? */
+    bool isFrozen(Pid pid);
+
+    /** Driver context: make a frozen process runnable again. */
+    void thaw(Pid pid);
+
     // Components ---------------------------------------------------------
     vmm::Vmm& vmm() { return vmm_; }
     Scheduler& sched() { return sched_; }
@@ -263,6 +280,8 @@ class Kernel : public vmm::GuestOsHooks
     std::int64_t sysExec(Thread& t, GuestVA name_va, GuestVA argv_va,
                          std::uint64_t argv_len);
     std::int64_t sysWaitPid(Thread& t, std::int64_t pid, GuestVA status_va);
+    std::int64_t sysVmaQuery(Thread& t, std::uint64_t index,
+                             std::uint64_t field);
     std::int64_t sysKill(Thread& t, std::int64_t pid, std::uint64_t sig);
     std::int64_t sysSigAction(Thread& t, std::uint64_t sig,
                               std::uint64_t token);
@@ -279,6 +298,9 @@ class Kernel : public vmm::GuestOsHooks
 
     /** Throw ProcessKilled if someone requested our death. */
     void checkKillRequested(Thread& t);
+
+    /** Park the thread if a freeze request for it has counted down. */
+    void checkFreezeRequested(Thread& t);
 
     /** Queue signal-delivery marker for the runtime, if any pending. */
     void maybeDeliverSignal(Thread& t);
@@ -297,6 +319,9 @@ class Kernel : public vmm::GuestOsHooks
 
     /** Reverse map: anon frame -> (asid, va) mappers (COW sharing). */
     std::map<Gpa, std::vector<std::pair<Asid, GuestVA>>> anonMappers_;
+
+    /** Pending freeze requests: pid -> kernel entries remaining. */
+    std::map<Pid, std::uint64_t> freezeRequests_;
 
     bool cloakingAvailable_ = true;
     MaliceConfig malice_;

@@ -24,6 +24,7 @@ Kernel::syscallEntry(Thread& t)
 
     KernelModeGuard guard(t.vcpu);
     checkKillRequested(t);
+    checkFreezeRequested(t);
 
     auto& regs = t.vcpu.regs();
     OSH_TRACE_SCOPE(&vmm_.machine().tracer(), trace::Category::Syscall,
@@ -169,6 +170,9 @@ Kernel::syscallEntry(Thread& t)
         result = static_cast<std::int64_t>(
             currentProcess().pendingSignals);
         break;
+      case Sys::VmaQuery:
+        result = sysVmaQuery(t, a1, a2);
+        break;
       default:
         result = -errNoSys;
         break;
@@ -185,6 +189,7 @@ Kernel::timerTick(Thread& t)
 {
     KernelModeGuard guard(t.vcpu);
     checkKillRequested(t);
+    checkFreezeRequested(t);
     maybeDeliverSignal(t);
     sched_.preempt();
 }
@@ -891,6 +896,32 @@ Kernel::sysWaitPid(Thread& t, std::int64_t pid, GuestVA status_va)
         if (!have_children)
             return -errChild;
         sched_.block(&p.exitChannel);
+    }
+}
+
+std::int64_t
+Kernel::sysVmaQuery(Thread&, std::uint64_t index, std::uint64_t field)
+{
+    // Register-only ABI: a restored process uses this to rediscover its
+    // own (restored) mappings, so the call must not depend on any
+    // shim-marshalled buffer.
+    Process& p = currentProcess();
+    if (index >= p.as.vmas().size())
+        return -errInval;
+    auto it = p.as.vmas().begin();
+    std::advance(it, static_cast<std::ptrdiff_t>(index));
+    const Vma& vma = it->second;
+    switch (field) {
+      case vmaQueryStart:
+        return static_cast<std::int64_t>(vma.start);
+      case vmaQueryEnd:
+        return static_cast<std::int64_t>(vma.end);
+      case vmaQueryFlags:
+        return static_cast<std::int64_t>(
+            (vma.cloaked ? vmaFlagCloaked : 0) |
+            (vma.type == VmaType::Anon ? vmaFlagAnon : 0));
+      default:
+        return -errInval;
     }
 }
 

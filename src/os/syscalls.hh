@@ -52,6 +52,7 @@ enum class Sys : std::uint64_t
     Kill = 44,
     SigAction = 45,
     SigPending = 46,
+    VmaQuery = 47,   ///< Inspect the i-th VMA of the caller (register ABI).
 };
 
 /** Stable name of a syscall number (tracing, diagnostics). */
@@ -88,6 +89,7 @@ sysName(Sys num)
       case Sys::Kill: return "kill";
       case Sys::SigAction: return "sigaction";
       case Sys::SigPending: return "sigpending";
+      case Sys::VmaQuery: return "vmaquery";
     }
     return "sys_unknown";
 }
@@ -139,6 +141,15 @@ constexpr std::uint64_t openTrunc = 8;
 constexpr std::uint64_t seekSet = 0;
 constexpr std::uint64_t seekCur = 1;
 constexpr std::uint64_t seekEnd = 2;
+
+/** VmaQuery fields (all results fit in the return register, so the
+ *  call needs no user-memory operands and passes through the shim). */
+constexpr std::uint64_t vmaQueryStart = 0;
+constexpr std::uint64_t vmaQueryEnd = 1;
+constexpr std::uint64_t vmaQueryFlags = 2;
+/** VmaQuery flag bits. */
+constexpr std::uint64_t vmaFlagCloaked = 1;
+constexpr std::uint64_t vmaFlagAnon = 2;
 
 /** Signals. */
 constexpr int sigKill = 9;

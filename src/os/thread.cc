@@ -87,18 +87,27 @@ Scheduler::switchFrom(Thread* cur, std::unique_lock<std::mutex>& lk,
         } else {
             // No runnable thread, yet live threads remain: everything
             // else is blocked. If the caller is also going away (exit)
-            // or blocking, the guest has deadlocked.
+            // or blocking, the guest has deadlocked — unless threads
+            // are frozen for a checkpoint, in which case control goes
+            // back to the driver (the quiesced state it asked for).
             bool caller_runnable =
                 !exiting && cur->state == Thread::State::Running;
             if (!caller_runnable) {
-                osh_panic("guest deadlock: %llu live threads, "
-                          "none runnable",
-                          static_cast<unsigned long long>(liveCount_));
+                if (frozenCount_ > 0) {
+                    paused_ = true;
+                    driverCv_.notify_all();
+                } else {
+                    osh_panic("guest deadlock: %llu live threads, "
+                              "none runnable",
+                              static_cast<unsigned long long>(
+                                  liveCount_));
+                }
+            } else {
+                // Caller yielded with nobody else to run: keep going.
+                cur->state = Thread::State::Running;
+                current_ = cur;
+                return;
             }
-            // Caller yielded with nobody else to run: keep running.
-            cur->state = Thread::State::Running;
-            current_ = cur;
-            return;
         }
     }
     if (exiting)
@@ -164,6 +173,42 @@ Scheduler::wakeAll(const void* channel)
     }
 }
 
+void
+Scheduler::freezeCurrent()
+{
+    Thread* cur = current_;
+    osh_assert(cur != nullptr && tlsHostLock != nullptr,
+               "freeze outside guest context");
+    cur->state = Thread::State::Blocked;
+    cur->waitChannel = &frozenChannel_;
+    ++frozenCount_;
+    stats_.counter("freezes").inc();
+    switchFrom(cur, *tlsHostLock, false);
+    cur->waitChannel = nullptr;
+}
+
+bool
+Scheduler::isFrozen(const Thread& t) const
+{
+    return t.state == Thread::State::Blocked &&
+           t.waitChannel == &frozenChannel_;
+}
+
+void
+Scheduler::resumeFrozen(Thread& t)
+{
+    std::unique_lock<std::mutex> lk(lock_);
+    osh_assert(current_ == nullptr,
+               "resumeFrozen while a guest thread is running");
+    osh_assert(isFrozen(t), "resumeFrozen of a thread that is not frozen");
+    osh_assert(frozenCount_ > 0, "frozen count underflow");
+    t.state = Thread::State::Ready;
+    t.waitChannel = nullptr;
+    --frozenCount_;
+    readyQueue_.push_back(&t);
+    stats_.counter("thaws").inc();
+}
+
 std::uint64_t
 Scheduler::run()
 {
@@ -171,7 +216,12 @@ Scheduler::run()
     if (liveCount_ == 0)
         return started_;
     osh_assert(current_ == nullptr, "run() while a thread is running");
-    osh_assert(!readyQueue_.empty(), "live threads but none ready");
+    if (readyQueue_.empty()) {
+        // Every live thread is frozen (or blocked behind one): the
+        // machine stays quiesced; nothing to run.
+        osh_assert(frozenCount_ > 0, "live threads but none ready");
+        return started_;
+    }
 
     Thread* next = readyQueue_.front();
     readyQueue_.pop_front();
@@ -179,7 +229,8 @@ Scheduler::run()
     current_ = next;
     next->cv.notify_all();
 
-    driverCv_.wait(lk, [this] { return liveCount_ == 0; });
+    driverCv_.wait(lk, [this] { return liveCount_ == 0 || paused_; });
+    paused_ = false;
     current_ = nullptr;
     return started_;
 }

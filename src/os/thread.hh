@@ -121,8 +121,30 @@ class Scheduler
     void wakeThread(Thread& t);
 
     /**
+     * Guest context: park the calling thread on the scheduler's freeze
+     * channel (checkpoint quiesce). Unlike block(), a frozen thread can
+     * only be made runnable again by the driver via resumeFrozen(); and
+     * when every remaining live thread is frozen or blocked the
+     * scheduler *pauses* — run() returns to the driver instead of
+     * panicking on deadlock — so the driver can inspect a quiesced
+     * machine. Returns when the thread is thawed.
+     */
+    void freezeCurrent();
+
+    /** Driver context: make a frozen thread runnable again. */
+    void resumeFrozen(Thread& t);
+
+    /** Is this thread parked on the freeze channel? */
+    bool isFrozen(const Thread& t) const;
+
+    /** Number of threads currently parked on the freeze channel. */
+    std::uint64_t frozenThreads() const { return frozenCount_; }
+
+    /**
      * Driver context: run the simulation until every guest thread has
-     * exited. Returns the number of threads that ran.
+     * exited — or, when threads are frozen, until no unfrozen thread is
+     * runnable (the paused state; check liveThreads() to distinguish).
+     * Returns the number of threads that ran.
      */
     std::uint64_t run();
 
@@ -164,6 +186,12 @@ class Scheduler
     std::uint64_t liveCount_ = 0;
     std::uint64_t started_ = 0;
     bool driverWaiting_ = false;
+    /** Threads parked by freezeCurrent() wait on this channel. */
+    char frozenChannel_ = 0;
+    std::uint64_t frozenCount_ = 0;
+    /** Set when the scheduler hands control back to a checkpointing
+     *  driver because only frozen/blocked threads remain. */
+    bool paused_ = false;
     StatGroup stats_;
 };
 

@@ -173,6 +173,36 @@ System::startForkChild(os::Process& parent, os::Process& child,
 }
 
 void
+System::startRestoredProcess(os::Process& proc, GuestVA ctc_va,
+                             GuestVA bounce_va)
+{
+    osh_assert(engine_ != nullptr && proc.cloaked &&
+                   proc.domain != systemDomain,
+               "restored start without an imported domain");
+    StartInfo info;
+    info.needsImageSetup = false; // The migrate layer rebuilt the AS.
+    info.isRestored = true;
+    info.restoredCtc = ctc_va;
+    info.restoredBounce = bounce_va;
+    pendingRestoredBounce_[proc.pid] = bounce_va;
+    startThread(proc, std::move(info));
+}
+
+GuestVA
+System::pendingRestoredBounce(Pid pid) const
+{
+    auto it = pendingRestoredBounce_.find(pid);
+    return it == pendingRestoredBounce_.end() ? 0 : it->second;
+}
+
+cloak::Shim*
+System::shimOf(Pid pid)
+{
+    auto it = shims_.find(pid);
+    return it == shims_.end() ? nullptr : it->second;
+}
+
+void
 System::onProcessExit(os::Process&)
 {
     // Cloak teardown happens in the thread body before finalizeExit;
@@ -231,7 +261,12 @@ System::threadBody(os::Thread& thread, Pid pid, StartInfo info)
                 kernel_.setupProcessImage(proc, *prog);
 
             if (engine_ && proc.cloaked) {
-                if (info.isForkChild && info.cloakForkToken != 0) {
+                if (info.isRestored) {
+                    shim = cloak::OvershadowRuntime::launchRestored(
+                        *engine_, env, info.restoredCtc,
+                        info.restoredBounce);
+                    pendingRestoredBounce_.erase(pid);
+                } else if (info.isForkChild && info.cloakForkToken != 0) {
                     shim = cloak::OvershadowRuntime::launchForked(
                         *engine_, env, info.cloakForkToken,
                         info.parentCtc, info.parentBounce);

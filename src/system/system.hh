@@ -205,6 +205,26 @@ class System : public os::ProcessHost, public os::EnvRuntime
     Pid launch(const std::string& program,
                std::vector<std::string> argv = {});
 
+    /**
+     * Start the thread of a restored (migrated-in) cloaked process.
+     * The migrate layer has already built the address space and
+     * imported the protection domain; the thread body attaches the
+     * shim to the inherited CTC/bounce layout and re-enters main().
+     */
+    void startRestoredProcess(os::Process& proc, GuestVA ctc_va,
+                              GuestVA bounce_va);
+
+    /** The live shim of a cloaked process (nullptr when none). */
+    cloak::Shim* shimOf(Pid pid);
+
+    /**
+     * The bounce-buffer VA a restored process will inherit when its
+     * thread first runs (0 once it has, or for non-restored pids).
+     * Lets a re-checkpoint of a not-yet-resumed process serialize the
+     * same layout the image carried — there is no shim to ask yet.
+     */
+    GuestVA pendingRestoredBounce(Pid pid) const;
+
     /** Run until every guest thread has exited. */
     void run();
 
@@ -236,6 +256,9 @@ class System : public os::ProcessHost, public os::EnvRuntime
         GuestVA parentCtc = 0;
         GuestVA parentBounce = 0;
         bool needsImageSetup = true;
+        bool isRestored = false;
+        GuestVA restoredCtc = 0;
+        GuestVA restoredBounce = 0;
     };
 
     void startThread(os::Process& proc, StartInfo info);
@@ -254,6 +277,7 @@ class System : public os::ProcessHost, public os::EnvRuntime
 
     /** Live shims by pid (owned by their thread bodies). */
     std::map<Pid, cloak::Shim*> shims_;
+    std::map<Pid, GuestVA> pendingRestoredBounce_;
 
     std::map<Pid, ExitResult> results_;
 };

@@ -2,6 +2,7 @@
 
 #include "base/logging.hh"
 #include "os/env.hh"
+#include "os/layout.hh"
 
 #include <algorithm>
 #include <array>
@@ -545,47 +546,162 @@ sentinelIntact(Env& env, GuestVA va, std::uint64_t pages,
     return true;
 }
 
+// Migration-aware victim machinery -----------------------------------------
+//
+// The compute and paging victims are also the checkpoint/restore test
+// subjects, so they must survive being frozen at ANY trap boundary
+// (syscall entry or timer tick), serialized, and re-entered from
+// main() on a different machine. Host-side locals are lost across that
+// trip; all progress lives in a state page INSIDE the cloaked arena:
+//
+//   word 0  magic      seed-derived tag proving the arena is ours
+//   word 1  phase      current phase of the state machine
+//   word 2  pass       mutation pass within the phase
+//   word 3  index      next word/page to process within the pass
+//
+// Every mutation write is a pure function of (seed, pass, index) — not
+// a read-modify-write — so the one iteration that may replay after a
+// restore (frozen between the data store and the index store) writes
+// the same bytes again. Read-only phases (verify/hash) restart from
+// zero on resume instead of persisting an accumulator, because a
+// checksum and its index cannot be committed atomically.
+
+constexpr std::uint64_t stMagic = 0;
+constexpr std::uint64_t stPhase = 8;
+constexpr std::uint64_t stPass = 16;
+constexpr std::uint64_t stIndex = 24;
+
+std::uint64_t
+arenaMagic(std::uint64_t seed)
+{
+    std::uint64_t s = seed ^ 0x517a7e0ff5e7ull;
+    return splitmix(s) | 1;
+}
+
+/** The pure per-index word: what mutation @p pass leaves at @p index. */
+std::uint64_t
+victimWord(std::uint64_t seed, std::uint64_t salt, std::uint64_t index,
+           std::uint64_t pass_done)
+{
+    std::uint64_t s = seed ^ salt ^ (index * 0x9e3779b97f4a7c15ull);
+    std::uint64_t v = splitmix(s) | 1;
+    for (std::uint64_t p = 0; p < pass_done; ++p)
+        v = v * fnvPrime + p;
+    return v;
+}
+
+/**
+ * Find this victim's arena from a previous (checkpointed) life: the
+ * cloaked anonymous mapping of exactly @p pages pages in the mmap
+ * range whose state page carries our magic. 0 when this is a fresh
+ * start. The scan is the reason Sys::VmaQuery exists: a restored
+ * process owns mappings it never created in this life.
+ */
+GuestVA
+findResumeArena(Env& env, std::uint64_t pages, std::uint64_t magic,
+                GuestVA state_offset)
+{
+    for (std::uint64_t i = 0;; ++i) {
+        std::int64_t start = env.vmaQuery(i, os::vmaQueryStart);
+        if (start < 0)
+            return 0;
+        std::int64_t end = env.vmaQuery(i, os::vmaQueryEnd);
+        std::int64_t flags = env.vmaQuery(i, os::vmaQueryFlags);
+        if (end < 0 || flags < 0)
+            return 0;
+        GuestVA va = static_cast<GuestVA>(start);
+        if (va < os::mmapBase || va >= os::fileMapBase)
+            continue;
+        if (static_cast<GuestVA>(end) - va != pages * pageSize)
+            continue;
+        std::uint64_t want = os::vmaFlagCloaked | os::vmaFlagAnon;
+        if ((static_cast<std::uint64_t>(flags) & want) != want)
+            continue;
+        if (env.load64(va + state_offset + stMagic) == magic)
+            return va;
+    }
+}
+
 /**
  * Compute-category victim: sentinel arena + multiply-accumulate passes
- * over a work arena, with getpid() traps between passes so syscall-
- * boundary attacks (snoop/scribble/trap-frame/shadow) get to fire.
+ * over a work arena, with getpid() traps sprinkled through the passes
+ * so syscall-boundary attacks (snoop/scribble/trap-frame/shadow) and
+ * migration freezes get boundaries to land on. Checkpoint/restore-safe
+ * (see the state-page commentary above); the result checksum is
+ * pid-independent so it matches across the migration's pid change.
  */
 int
 wlVictimCompute(Env& env)
 {
-    const std::uint64_t sentinel = attackSentinel(workloadSeed(env));
+    const std::uint64_t seed = workloadSeed(env);
+    const std::uint64_t sentinel = attackSentinel(seed);
+    const std::uint64_t magic = arenaMagic(seed ^ 0xc0);
     const std::uint64_t secret_pages = 4;
     const std::uint64_t work_pages = 4;
+    const std::uint64_t total_pages = secret_pages + work_pages + 1;
     const std::uint64_t work_words = work_pages * pageSize / 8;
-    GuestVA arena = env.allocPages(secret_pages + work_pages);
+    const std::uint64_t passes = 4;
+    const GuestVA state_offset = (secret_pages + work_pages) * pageSize;
+
+    GuestVA arena =
+        findResumeArena(env, total_pages, magic, state_offset);
+    if (arena == 0) {
+        arena = env.allocPages(total_pages);
+        GuestVA st = arena + state_offset;
+        env.store64(st + stPhase, 0);
+        env.store64(st + stPass, 0);
+        env.store64(st + stIndex, 0);
+        env.store64(st + stMagic, magic); // commits the arena last
+    }
     GuestVA work = arena + secret_pages * pageSize;
+    GuestVA st = arena + state_offset;
 
-    plantSentinel(env, arena, secret_pages, sentinel);
-    std::uint64_t s = workloadSeed(env) ^ 0xc09a;
-    for (std::uint64_t i = 0; i < work_words; ++i)
-        env.store64(work + i * 8, splitmix(s));
-    env.getpid();
-
-    for (std::uint64_t pass = 0; pass < 4; ++pass) {
-        for (std::uint64_t i = 0; i < work_words; ++i) {
-            std::uint64_t v = env.load64(work + i * 8);
-            env.store64(work + i * 8, v * fnvPrime + pass);
-        }
+    // Phase 0: plant the sentinel + initial work words (pure writes).
+    if (env.load64(st + stPhase) == 0) {
+        plantSentinel(env, arena, secret_pages, sentinel);
+        for (std::uint64_t i = 0; i < work_words; ++i)
+            env.store64(work + i * 8, victimWord(seed, 0xc09a, i, 0));
+        env.store64(st + stPhase, 1);
         env.getpid();
     }
 
-    // Verify: replay the whole computation against plain host locals.
-    std::uint64_t s2 = workloadSeed(env) ^ 0xc09a;
-    for (std::uint64_t i = 0; i < work_words; ++i) {
-        std::uint64_t v = splitmix(s2);
-        for (std::uint64_t pass = 0; pass < 4; ++pass)
-            v = v * fnvPrime + pass;
-        if (env.load64(work + i * 8) != v)
-            return victimStatusCorrupt;
+    // Phase 1: the mutation passes, progress committed per word.
+    while (env.load64(st + stPhase) == 1) {
+        std::uint64_t pass = env.load64(st + stPass);
+        if (pass >= passes) {
+            env.store64(st + stPhase, 2);
+            break;
+        }
+        for (std::uint64_t i = env.load64(st + stIndex); i < work_words;
+             ++i) {
+            std::uint64_t have = env.load64(work + i * 8);
+            // Tolerate exactly the one replayed iteration a restore
+            // can produce; anything else is silent corruption.
+            if (have != victimWord(seed, 0xc09a, i, pass) &&
+                have != victimWord(seed, 0xc09a, i, pass + 1))
+                return victimStatusCorrupt;
+            env.store64(work + i * 8,
+                        victimWord(seed, 0xc09a, i, pass + 1));
+            env.store64(st + stIndex, i + 1);
+            if (i % 128 == 0)
+                env.getpid();
+        }
+        env.store64(st + stIndex, 0);
+        env.store64(st + stPass, pass + 1);
+        env.getpid();
     }
+
+    // Phase 2: read-only verify + checksum (restarts whole on resume).
     if (!sentinelIntact(env, arena, secret_pages, sentinel))
         return victimStatusCorrupt;
-    return 0;
+    std::uint64_t h = fnvOffset;
+    for (std::uint64_t i = 0; i < work_words; ++i) {
+        std::uint64_t v = env.load64(work + i * 8);
+        if (v != victimWord(seed, 0xc09a, i, passes))
+            return victimStatusCorrupt;
+        fnvMix(h, v);
+    }
+    return writeResult(env, "wl.victim.compute", h);
 }
 
 /**
@@ -713,48 +829,87 @@ wlVictimFileio(Env& env)
  * Paging-category victim: an arena larger than guest memory (campaigns
  * run it with guestFrames well below the arena size), so the sentinel
  * and work pages cycle through swap — the injection point for swap
- * tampering, replay, and freed-slot resurrection.
+ * tampering, replay, and freed-slot resurrection. Checkpoint/restore-
+ * safe via the same state-page protocol as the compute victim (the
+ * state page rides at the end of the cloaked arena, so it swaps and
+ * migrates with everything else).
  */
 int
 wlVictimPaging(Env& env)
 {
-    const std::uint64_t sentinel = attackSentinel(workloadSeed(env));
+    const std::uint64_t seed = workloadSeed(env);
+    const std::uint64_t sentinel = attackSentinel(seed);
+    const std::uint64_t magic = arenaMagic(seed ^ 0x9a);
     std::uint64_t pages = argAt(env, 0, 144);
     std::uint64_t passes = argAt(env, 1, 2);
     const std::uint64_t secret_pages = 4;
     if (pages <= secret_pages)
         return 9;
-    GuestVA arena = env.allocPages(pages);
+    const std::uint64_t total_pages = pages + 1;
+    const GuestVA state_offset = pages * pageSize;
 
-    plantSentinel(env, arena, secret_pages, sentinel);
-    std::uint64_t s = workloadSeed(env) ^ 0x9a61;
-    for (std::uint64_t p = secret_pages; p < pages; ++p)
-        env.store64(arena + p * pageSize, splitmix(s) | 1);
+    GuestVA arena =
+        findResumeArena(env, total_pages, magic, state_offset);
+    if (arena == 0) {
+        arena = env.allocPages(total_pages);
+        GuestVA st = arena + state_offset;
+        env.store64(st + stPhase, 0);
+        env.store64(st + stPass, 0);
+        env.store64(st + stIndex, 0);
+        env.store64(st + stMagic, magic); // commits the arena last
+    }
+    GuestVA st = arena + state_offset;
 
-    for (std::uint64_t pass = 0; pass < passes; ++pass) {
-        for (std::uint64_t p = secret_pages; p < pages; ++p) {
+    // Phase 0: sentinel + one pure word per work page.
+    if (env.load64(st + stPhase) == 0) {
+        plantSentinel(env, arena, secret_pages, sentinel);
+        for (std::uint64_t p = secret_pages; p < pages; ++p)
+            env.store64(arena + p * pageSize,
+                        victimWord(seed, 0x9a61, p, 0));
+        env.store64(st + stPhase, 1);
+        env.getpid();
+    }
+
+    // Phase 1: mutation passes over the work pages, committed per page.
+    while (env.load64(st + stPhase) == 1) {
+        std::uint64_t pass = env.load64(st + stPass);
+        if (pass >= passes) {
+            env.store64(st + stPhase, 2);
+            break;
+        }
+        std::uint64_t start =
+            std::max(env.load64(st + stIndex), secret_pages);
+        for (std::uint64_t p = start; p < pages; ++p) {
             GuestVA va = arena + p * pageSize;
-            env.store64(va, env.load64(va) * fnvPrime + pass);
-            if (p % 32 == 0)
+            std::uint64_t have = env.load64(va);
+            if (have != victimWord(seed, 0x9a61, p, pass) &&
+                have != victimWord(seed, 0x9a61, p, pass + 1))
+                return victimStatusCorrupt;
+            env.store64(va, victimWord(seed, 0x9a61, p, pass + 1));
+            env.store64(st + stIndex, p + 1);
+            if (p % 16 == 0)
                 env.getpid();
         }
         // Touch the sentinel pages each pass so they keep swapping.
         for (std::uint64_t p = 0; p < secret_pages; ++p)
             if (env.load64(arena + p * pageSize) != sentinel)
                 return victimStatusCorrupt;
+        env.store64(st + stIndex, 0);
+        env.store64(st + stPass, pass + 1);
+        env.getpid();
     }
 
+    // Phase 2: read-only verify + checksum (restarts whole on resume).
     if (!sentinelIntact(env, arena, secret_pages, sentinel))
         return victimStatusCorrupt;
-    std::uint64_t s2 = workloadSeed(env) ^ 0x9a61;
+    std::uint64_t h = fnvOffset;
     for (std::uint64_t p = secret_pages; p < pages; ++p) {
-        std::uint64_t v = splitmix(s2) | 1;
-        for (std::uint64_t pass = 0; pass < passes; ++pass)
-            v = v * fnvPrime + pass;
-        if (env.load64(arena + p * pageSize) != v)
+        std::uint64_t v = env.load64(arena + p * pageSize);
+        if (v != victimWord(seed, 0x9a61, p, passes))
             return victimStatusCorrupt;
+        fnvMix(h, v);
     }
-    return 0;
+    return writeResult(env, "wl.victim.paging", h);
 }
 
 } // namespace

@@ -121,6 +121,19 @@ TEST_F(CampaignMatrix, EveryTamperFamilyFiresAndIsDetected)
             EXPECT_EQ(c.verdict, Verdict::Detected) << cellName(c);
         }
     }
+
+    // Migration-transport attacks need a victim that speaks the
+    // cooperative-resume protocol (compute and paging do).
+    for (AttackPoint p :
+         {AttackPoint::MigImageTamper, AttackPoint::MigImageRollback,
+          AttackPoint::MigStreamReplay,
+          AttackPoint::MigManifestTrunc}) {
+        for (const char* wl : {"wl.victim.compute", "wl.victim.paging"}) {
+            const CampaignCell& c = cell(seed, p, wl);
+            EXPECT_GT(c.firings, 0u) << cellName(c);
+            EXPECT_EQ(c.verdict, Verdict::Detected) << cellName(c);
+        }
+    }
 }
 
 /** Probe attacks only ever observe ciphertext or scrubbed registers:
