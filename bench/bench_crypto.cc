@@ -364,7 +364,7 @@ runSimSection(bench::BenchReport& report)
         c.h.vmm.prepareFramesForKernel(gpas);
     };
     auto build_items = [](Ctx& c, cloak::Resource*& res) {
-        res = c.h.engine.metadata().find(c.h.resource);
+        res = c.h.engine.metadata().lookup(c.h.resource).valueOr(nullptr);
         osh_assert(res != nullptr, "bench resource exists");
         std::array<cloak::PageCryptoItem, benchPages> items{};
         for (std::uint64_t i = 0; i < benchPages; ++i) {
@@ -444,7 +444,8 @@ runSweepOnce(unsigned workers, int iters)
     auto app = h.appCpu();
     std::uint64_t scratch = 0;
 
-    cloak::Resource* res = h.engine.metadata().find(h.resource);
+    cloak::Resource* res =
+        h.engine.metadata().lookup(h.resource).valueOr(nullptr);
     osh_assert(res != nullptr, "sweep resource exists");
 
     std::vector<cloak::PageCryptoItem> items(sweepPages);

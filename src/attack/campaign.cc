@@ -211,7 +211,8 @@ namespace
 {
 
 system::SystemConfig
-victimSystemConfig(std::uint64_t seed, const std::string& workload)
+victimSystemConfig(std::uint64_t seed, const std::string& workload,
+                   std::size_t vcpus)
 {
     // The paging victim must thrash: give it fewer frames than its
     // arena so every page cycles through the (hostile) swap device.
@@ -220,6 +221,7 @@ victimSystemConfig(std::uint64_t seed, const std::string& workload)
         .seed(seed)
         .guestFrames(paging ? 96 : 512)
         .cloaking(true)
+        .vcpus(vcpus)
         .build();
 }
 
@@ -240,14 +242,14 @@ victimSystemConfig(std::uint64_t seed, const std::string& workload)
  */
 CampaignCell
 runMigrationCell(std::uint64_t seed, AttackPoint point,
-                 const std::string& workload)
+                 const std::string& workload, std::size_t vcpus)
 {
     CampaignCell cell;
     cell.seed = seed;
     cell.point = point;
     cell.workload = workload;
 
-    system::SystemConfig cfg = victimSystemConfig(seed, workload);
+    system::SystemConfig cfg = victimSystemConfig(seed, workload, vcpus);
     system::System src(cfg);
     workloads::registerAll(src);
     system::System dst(cfg);
@@ -451,17 +453,17 @@ runMigrationCell(std::uint64_t seed, AttackPoint point,
 
 CampaignCell
 runCell(std::uint64_t seed, AttackPoint point,
-        const std::string& workload)
+        const std::string& workload, std::size_t vcpus)
 {
     if (isMigrationPoint(point))
-        return runMigrationCell(seed, point, workload);
+        return runMigrationCell(seed, point, workload, vcpus);
 
     CampaignCell cell;
     cell.seed = seed;
     cell.point = point;
     cell.workload = workload;
 
-    system::SystemConfig cfg = victimSystemConfig(seed, workload);
+    system::SystemConfig cfg = victimSystemConfig(seed, workload, vcpus);
     system::System sys(cfg);
     workloads::registerAll(sys);
 
@@ -532,7 +534,8 @@ runCampaign(const CampaignConfig& config)
     for (std::uint64_t seed : config.seeds) {
         for (AttackPoint point : points) {
             for (const std::string& wl : workloads) {
-                CampaignCell cell = runCell(seed, point, wl);
+                CampaignCell cell =
+                    runCell(seed, point, wl, config.vcpus);
                 report.metrics.counter(cat, "cells")++;
                 report.metrics.counter(cat, "firings") +=
                     cell.firings;

@@ -80,6 +80,14 @@ struct CampaignConfig
     /** Empty means all victim workloads (workloads::victimNames()). */
     std::vector<std::string> workloads;
 
+    /**
+     * vCPUs per victim System (0 = single-core legacy path). Verdicts
+     * and the table() string are vCPU-count invariant — the SMP tests
+     * pin that down — so campaigns may run multi-core to exercise
+     * per-vCPU world switches without touching expectation files.
+     */
+    std::size_t vcpus = 0;
+
     /** Throws std::invalid_argument on empty seeds or duplicates. */
     void validate() const;
 
@@ -109,9 +117,10 @@ struct CampaignReport
 };
 
 /** Run one cell: fresh System, director installed, victim run,
- *  oracle + classification. */
+ *  oracle + classification. @p vcpus as in CampaignConfig. */
 CampaignCell runCell(std::uint64_t seed, AttackPoint point,
-                     const std::string& workload);
+                     const std::string& workload,
+                     std::size_t vcpus = 0);
 
 class AttackDirector;
 

@@ -28,30 +28,11 @@ programIdentity(const std::string& program_name)
     return ctx.final();
 }
 
-const char*
-cloakErrorName(CloakError e)
-{
-    switch (e) {
-      case CloakError::UnknownDomain: return "unknown_domain";
-      case CloakError::NoCtcHash: return "no_ctc_hash";
-      case CloakError::CtcHashMismatch: return "ctc_hash_mismatch";
-      case CloakError::BadForkToken: return "bad_fork_token";
-      case CloakError::ForkAlreadySnapshotted:
-        return "fork_already_snapshotted";
-      case CloakError::ForkNotSnapshotted: return "fork_not_snapshotted";
-      case CloakError::UnknownResource: return "unknown_resource";
-      case CloakError::ForeignResource: return "foreign_resource";
-      case CloakError::NotAFileResource: return "not_a_file_resource";
-      case CloakError::SealRejected: return "seal_rejected";
-      case CloakError::IntegrityViolation: return "integrity_violation";
-    }
-    return "?";
-}
-
 CloakEngine::CloakEngine(vmm::Vmm& vmm, std::uint64_t master_seed,
-                         std::size_t metadata_cache)
-    : vmm_(vmm), keys_(master_seed),
-      metadata_(vmm.machine().cost(), metadata_cache), stats_("cloak")
+                         std::size_t metadata_cache, std::size_t shards)
+    : vmm_(vmm), keys_(master_seed, shards),
+      metadata_(vmm.machine().cost(), metadata_cache, shards),
+      stats_("cloak")
 {
     vmm_.setCloakBackend(this);
 }
@@ -142,11 +123,31 @@ CloakEngine::violation(Resource& res, std::uint64_t page_index,
         pid, formatString("cloak violation: %s", reason.c_str())};
 }
 
+const crypto::Aes128&
+CloakEngine::cipherFor(Resource& res)
+{
+    // Resources normally carry a handle from cloak-attach; re-acquire
+    // lazily only if the key identity changed after the handle was
+    // taken (importResource rewrites keyId) or an exotic path skipped
+    // the attach. Never a per-fault map lookup.
+    if (!res.key.valid() || res.key.keyId() != res.keyId)
+        res.key = keys_.acquire(res.keyId);
+    return res.key.cipher();
+}
+
+const crypto::HmacKey&
+CloakEngine::sealingHmacFor(Resource& res)
+{
+    if (!res.key.valid() || res.key.keyId() != res.keyId)
+        res.key = keys_.acquire(res.keyId);
+    return res.key.sealingHmac();
+}
+
 void
 CloakEngine::encryptPage(Resource& res, std::uint64_t page_index,
                          PageMeta& meta)
 {
-    encryptPageWith(res, page_index, meta, keys_.pageCipher(res.keyId));
+    encryptPageWith(res, page_index, meta, cipherFor(res));
 }
 
 void
@@ -247,8 +248,7 @@ void
 CloakEngine::decryptAndVerify(Resource& res, std::uint64_t page_index,
                               PageMeta& meta, Gpa gpa)
 {
-    decryptAndVerifyWith(res, page_index, meta, gpa,
-                         keys_.pageCipher(res.keyId));
+    decryptAndVerifyWith(res, page_index, meta, gpa, cipherFor(res));
 }
 
 void
@@ -353,7 +353,7 @@ CloakEngine::encryptPages(Resource& res,
     // host threads; everything observable still happens in submission
     // order on this thread. Items must name distinct pages (the same
     // contract under which the serial loop is well-defined).
-    const crypto::Aes128& cipher = keys_.pageCipher(res.keyId);
+    const crypto::Aes128& cipher = cipherFor(res);
     OSH_TRACE_SCOPE(&vmm_.machine().tracer(), trace::Category::Cloak,
                     "encrypt_batch", res.domain, 0, res.id,
                     items.size());
@@ -516,7 +516,7 @@ CloakEngine::decryptPages(Resource& res,
 {
     if (items.empty())
         return;
-    const crypto::Aes128& cipher = keys_.pageCipher(res.keyId);
+    const crypto::Aes128& cipher = cipherFor(res);
     OSH_TRACE_SCOPE(&vmm_.machine().tracer(), trace::Category::Cloak,
                     "decrypt_batch", res.domain, 0, res.id,
                     items.size());
@@ -656,7 +656,7 @@ CloakEngine::sealPlaintextFrames(std::span<const Gpa> gpas)
         auto pit = plaintextIndex_.find(pageBase(gpa));
         if (pit == plaintextIndex_.end())
             continue;
-        Resource* res = metadata_.find(pit->second.resource);
+        Resource* res = metadata_.lookup(pit->second.resource).valueOr(nullptr);
         if (res == nullptr) {
             plaintextIndex_.erase(pit);
             continue;
@@ -669,7 +669,7 @@ CloakEngine::sealPlaintextFrames(std::span<const Gpa> gpas)
     }
     std::size_t sealed = 0;
     for (auto& [resource, items] : work) {
-        Resource* res = metadata_.find(resource);
+        Resource* res = metadata_.lookup(resource).valueOr(nullptr);
         if (res == nullptr)
             continue;
         encryptPages(*res, items);
@@ -698,7 +698,7 @@ CloakEngine::sealDomainPlaintext(DomainId id)
     for (Region& r : d.regions) {
         if (!seen.insert(r.resource).second)
             continue;
-        Resource* res = metadata_.find(r.resource);
+        Resource* res = metadata_.lookup(r.resource).valueOr(nullptr);
         if (res == nullptr)
             continue;
         std::vector<PageCryptoItem> items;
@@ -731,6 +731,7 @@ CloakEngine::importResource(DomainId domain, ResourceId key_id,
     (void)d;
     Resource& res = metadata_.createResource(domain, is_file, file_key);
     res.keyId = key_id;
+    res.key = keys_.acquire(key_id);
     metadata_.reserveIds(key_id + 1);
     stats_.counter("resources_imported").inc();
     return res;
@@ -750,7 +751,7 @@ CloakEngine::resolvePage(const vmm::Context& ctx, GuestVA va_page,
     Resource* res = nullptr;
     std::uint64_t page_index = 0;
     if (region != nullptr) {
-        res = metadata_.find(region->resource);
+        res = metadata_.lookup(region->resource).valueOr(nullptr);
         if (res != nullptr) {
             page_index = (va_page - region->start) / pageSize +
                          region->resourcePageOffset;
@@ -764,7 +765,7 @@ CloakEngine::resolvePage(const vmm::Context& ctx, GuestVA va_page,
         bool self = res != nullptr && pit->second.resource == res->id &&
                     pit->second.pageIndex == page_index;
         if (!self) {
-            Resource* owner = metadata_.find(pit->second.resource);
+            Resource* owner = metadata_.lookup(pit->second.resource).valueOr(nullptr);
             if (owner != nullptr) {
                 PageMeta& ometa =
                     metadata_.page(*owner, pit->second.pageIndex);
@@ -877,7 +878,7 @@ CloakEngine::teardownDomain(DomainId id)
     Domain& d = dit->second;
 
     for (Region& r : d.regions) {
-        Resource* res = metadata_.find(r.resource);
+        Resource* res = metadata_.lookup(r.resource).valueOr(nullptr);
         if (res == nullptr)
             continue;
         // Scrub any plaintext still resident: the kernel will reuse
@@ -919,8 +920,9 @@ CloakEngine::registerRegion(DomainId domain, GuestVA start,
     Resource* res = nullptr;
     if (resource == 0) {
         res = &metadata_.createResource(domain);
+        res->key = keys_.acquire(res->keyId);
     } else {
-        res = metadata_.find(resource);
+        res = metadata_.lookup(resource).valueOr(nullptr);
         osh_assert(res != nullptr, "register to unknown resource");
         osh_assert(res->domain == domain,
                    "register to another domain's resource");
@@ -939,7 +941,7 @@ CloakEngine::registerRegion(DomainId domain, GuestVA start,
     // stay live.
     for (GuestVA va = r.start; va < r.end; va += pageSize) {
         vmm_.shadows().invalidateVa(d.asid, va);
-        vmm_.tlb().invalidateVa(d.asid, va);
+        vmm_.shootdownVa(d.asid, va);
     }
     return res->id;
 }
@@ -951,7 +953,7 @@ CloakEngine::unregisterRegion(DomainId domain, GuestVA start)
     for (auto it = d.regions.begin(); it != d.regions.end(); ++it) {
         if (it->start != pageBase(start))
             continue;
-        Resource* res = metadata_.find(it->resource);
+        Resource* res = metadata_.lookup(it->resource).valueOr(nullptr);
         if (res != nullptr) {
             bool still_referenced = false;
             for (const Region& other : d.regions) {
@@ -1074,7 +1076,7 @@ CloakEngine::snapshotFork(DomainId parent, std::uint64_t token)
     // the child. Clones are parked in the parent domain until attach.
     std::map<ResourceId, ResourceId> cloned;
     for (const Region& r : pd->regions) {
-        Resource* src = metadata_.find(r.resource);
+        Resource* src = metadata_.lookup(r.resource).valueOr(nullptr);
         if (src == nullptr)
             continue;
         // Protected files do not survive fork (the parent keeps its
@@ -1129,7 +1131,7 @@ CloakEngine::forkAttach(Asid child_asid, Pid child_pid,
     // Mirror the parent's regions at the same virtual addresses (fork
     // preserves the address-space layout), re-homing the clones.
     for (const PendingRegion& pr : pf.regions) {
-        Resource* res = metadata_.find(pr.clonedResource);
+        Resource* res = metadata_.lookup(pr.clonedResource).valueOr(nullptr);
         if (res == nullptr)
             continue;
         res->domain = child_id;
@@ -1152,15 +1154,22 @@ CloakEngine::attachFileResource(DomainId domain, std::uint64_t file_key)
     Domain& d = domainOf(domain);
     Resource& res = metadata_.createResource(domain, true, file_key);
     res.keyId = fileKeyTag | file_key;
+    // Resolve the key material once, here at attach: every later fault
+    // and seal on this resource goes through the handle.
+    res.key = keys_.acquire(res.keyId);
 
     auto sit = sealedStore_.find(file_key);
     if (sit != sealedStore_.end()) {
-        const crypto::HmacKey& seal_key = keys_.sealingHmacKey(res.keyId);
-        if (!metadata_.unseal(sit->second, seal_key, d.identity, res)) {
+        auto unsealed = metadata_.unseal(sit->second,
+                                         res.key.sealingHmac(),
+                                         d.identity, res);
+        if (!unsealed.ok()) {
             stats_.counter("file_attach_rejected").inc();
             ResourceId dead = res.id;
             metadata_.destroyResource(dead);
-            return auditError(CloakError::SealRejected, domain, dead);
+            // Propagate the store's typed cause (bad MAC vs identity vs
+            // rollback vs malformed) instead of a blanket rejection.
+            return auditError(unsealed.error(), domain, dead);
         }
     }
     stats_.counter("file_attaches").inc();
@@ -1171,7 +1180,7 @@ Expected<void, CloakError>
 CloakEngine::sealFileResource(DomainId domain, ResourceId resource)
 {
     Domain& d = domainOf(domain);
-    Resource* res = metadata_.find(resource);
+    Resource* res = metadata_.lookup(resource).valueOr(nullptr);
     if (res == nullptr)
         return auditError(CloakError::UnknownResource, domain, resource);
     if (res->domain != domain)
@@ -1190,7 +1199,7 @@ CloakEngine::sealFileResource(DomainId domain, ResourceId resource)
     }
     encryptPages(*res, to_seal);
     sealedStore_[res->fileKey] = metadata_.seal(
-        *res, keys_.sealingHmacKey(res->keyId), d.identity);
+        *res, sealingHmacFor(*res), d.identity);
     stats_.counter("file_seals").inc();
     return {};
 }

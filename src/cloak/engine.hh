@@ -27,6 +27,7 @@
 #include "base/pool.hh"
 #include "base/stats.hh"
 #include "base/types.hh"
+#include "cloak/errors.hh"
 #include "cloak/metadata.hh"
 #include "crypto/keys.hh"
 #include "sim/machine.hh"
@@ -74,29 +75,8 @@ struct Domain
     bool ctcHashValid = false;
 };
 
-/**
- * Typed failure reasons for the cloak engine's fallible operations.
- * Every error travels in an Expected<T, CloakError> and is recorded in
- * the audit log at the point of failure, so callers never have to
- * translate sentinels back into causes.
- */
-enum class CloakError : std::uint8_t
-{
-    UnknownDomain,          ///< Operation on a domain id that does not exist.
-    NoCtcHash,              ///< CTC verified before any hash was recorded.
-    CtcHashMismatch,        ///< CTC contents differ from the recorded hash.
-    BadForkToken,           ///< Fork token unknown or for another domain.
-    ForkAlreadySnapshotted, ///< snapshotFork called twice for one token.
-    ForkNotSnapshotted,     ///< forkAttach before snapshotFork.
-    UnknownResource,        ///< Operation on a resource id that does not exist.
-    ForeignResource,        ///< Resource belongs to another domain.
-    NotAFileResource,       ///< File operation on a private memory resource.
-    SealRejected,           ///< Sealed bundle failed MAC/identity/version.
-    IntegrityViolation,     ///< Page hash mismatch (kernel tampering/replay).
-};
-
-/** Stable short name for an error (used as the audit-event reason). */
-const char* cloakErrorName(CloakError e);
+// CloakError and cloakErrorName live in cloak/errors.hh (shared with
+// the metadata store, whose Expected API returns the same codes).
 
 /** One recorded protection violation or rejected operation. */
 struct AuditEvent
@@ -303,9 +283,11 @@ class CloakEngine : public vmm::CloakBackend
      * @param vmm The VMM to interpose on.
      * @param master_seed Seed of the VMM master secret.
      * @param metadata_cache Metadata-cache capacity (ablation knob).
+     * @param shards Lock stripes for the metadata store and key cache
+     *   (>= 1). Guest-visible behavior is shard-count invariant.
      */
     CloakEngine(vmm::Vmm& vmm, std::uint64_t master_seed = 0x05ead0,
-                std::size_t metadata_cache = 1024);
+                std::size_t metadata_cache = 1024, std::size_t shards = 1);
     ~CloakEngine() override;
 
     // vmm::CloakBackend ---------------------------------------------------
@@ -423,6 +405,7 @@ class CloakEngine : public vmm::CloakBackend
     }
 
     MetadataStore& metadata() { return metadata_; }
+    crypto::KeyManager& keys() { return keys_; }
     const AuditLog& auditLog() const { return auditLog_; }
     StatGroup& stats() { return stats_; }
 
@@ -463,6 +446,11 @@ class CloakEngine : public vmm::CloakBackend
 
     Region* findRegion(DomainId domain, Asid asid, GuestVA va_page);
     Domain& domainOf(DomainId id);
+
+    /** Key material via the resource's handle, re-acquiring only when
+     *  the key identity changed since the handle was taken. */
+    const crypto::Aes128& cipherFor(Resource& res);
+    const crypto::HmacKey& sealingHmacFor(Resource& res);
 
     /** Encrypt the plaintext page of (resource,page) in place. */
     void encryptPage(Resource& res, std::uint64_t page_index,

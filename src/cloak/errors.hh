@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Typed failure codes shared across the cloak layer.
+ *
+ * CloakError used to live in engine.hh, but the metadata store's
+ * Expected-based lookup/unseal API returns the same codes, and
+ * metadata.hh cannot include engine.hh (the engine owns a store).
+ * Every error travels in an Expected<T, CloakError>; the engine
+ * records each one in the audit ring at the point of failure, so
+ * callers never translate sentinels back into causes.
+ */
+
+#ifndef OSH_CLOAK_ERRORS_HH
+#define OSH_CLOAK_ERRORS_HH
+
+#include <cstdint>
+
+namespace osh::cloak
+{
+
+/** Typed failure reasons for the cloak layer's fallible operations. */
+enum class CloakError : std::uint8_t
+{
+    UnknownDomain,          ///< Operation on a domain id that does not exist.
+    NoCtcHash,              ///< CTC verified before any hash was recorded.
+    CtcHashMismatch,        ///< CTC contents differ from the recorded hash.
+    BadForkToken,           ///< Fork token unknown or for another domain.
+    ForkAlreadySnapshotted, ///< snapshotFork called twice for one token.
+    ForkNotSnapshotted,     ///< forkAttach before snapshotFork.
+    UnknownResource,        ///< Resource id absent from the shard directory.
+    ForeignResource,        ///< Resource belongs to another domain.
+    NotAFileResource,       ///< File operation on a private memory resource.
+    SealRejected,           ///< Sealed bundle failed MAC/identity/version.
+    IntegrityViolation,     ///< Page hash mismatch (kernel tampering/replay).
+
+    // Metadata-store typed failures (shard-miss vs. integrity split).
+    ShardMiss,              ///< Directory names a shard that lost the id.
+    SealBadMac,             ///< Sealed bundle MAC did not verify.
+    SealBadIdentity,        ///< Bundle sealed under another identity.
+    SealRollback,           ///< Bundle older than the witnessed floor.
+    SealMalformed,          ///< Bundle truncated or structurally invalid.
+};
+
+/** Stable short name for an error (used as the audit-event reason). */
+inline const char*
+cloakErrorName(CloakError e)
+{
+    switch (e) {
+      case CloakError::UnknownDomain: return "unknown_domain";
+      case CloakError::NoCtcHash: return "no_ctc_hash";
+      case CloakError::CtcHashMismatch: return "ctc_hash_mismatch";
+      case CloakError::BadForkToken: return "bad_fork_token";
+      case CloakError::ForkAlreadySnapshotted:
+        return "fork_already_snapshotted";
+      case CloakError::ForkNotSnapshotted: return "fork_not_snapshotted";
+      case CloakError::UnknownResource: return "unknown_resource";
+      case CloakError::ForeignResource: return "foreign_resource";
+      case CloakError::NotAFileResource: return "not_a_file_resource";
+      case CloakError::SealRejected: return "seal_rejected";
+      case CloakError::IntegrityViolation: return "integrity_violation";
+      case CloakError::ShardMiss: return "shard_miss";
+      case CloakError::SealBadMac: return "seal_bad_mac";
+      case CloakError::SealBadIdentity: return "seal_bad_identity";
+      case CloakError::SealRollback: return "seal_rollback";
+      case CloakError::SealMalformed: return "seal_malformed";
+    }
+    return "?";
+}
+
+} // namespace osh::cloak
+
+#endif // OSH_CLOAK_ERRORS_HH

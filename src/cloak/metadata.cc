@@ -9,24 +9,99 @@
 namespace osh::cloak
 {
 
+namespace
+{
+/// Rough per-entry std::map node overhead (parent/children/color + key)
+/// folded into footprint estimates so the scale bench reflects real
+/// VMM-private memory, not just payload bytes.
+constexpr std::uint64_t mapNodeOverhead = 48;
+} // namespace
+
 MetadataStore::MetadataStore(sim::CostModel& cost,
-                             std::size_t cache_capacity)
+                             std::size_t cache_capacity,
+                             std::size_t shard_count)
     : cost_(cost), cacheCapacity_(cache_capacity), stats_("metadata")
 {
     osh_assert(cache_capacity > 0, "metadata cache needs capacity");
+    osh_assert(shard_count > 0, "metadata store needs at least one shard");
+    shards_.reserve(shard_count);
+    for (std::size_t i = 0; i < shard_count; ++i)
+        shards_.push_back(std::make_unique<Shard>());
+}
+
+void
+MetadataStore::accountPages(std::int64_t resources_delta,
+                            std::int64_t pages_delta)
+{
+    std::lock_guard<std::mutex> lk(footprintLock_);
+    liveResources_ =
+        static_cast<std::uint64_t>(static_cast<std::int64_t>(liveResources_) +
+                                   resources_delta);
+    livePageMetas_ =
+        static_cast<std::uint64_t>(static_cast<std::int64_t>(livePageMetas_) +
+                                   pages_delta);
+    std::uint64_t now =
+        liveResources_ * (sizeof(Resource) + mapNodeOverhead) +
+        livePageMetas_ * (sizeof(PageMeta) + mapNodeOverhead);
+    if (now > peakFootprint_)
+        peakFootprint_ = now;
+}
+
+std::size_t
+MetadataStore::resourceCount() const
+{
+    std::lock_guard<std::mutex> lk(footprintLock_);
+    return static_cast<std::size_t>(liveResources_);
+}
+
+std::uint64_t
+MetadataStore::pageMetaCount() const
+{
+    std::lock_guard<std::mutex> lk(footprintLock_);
+    return livePageMetas_;
+}
+
+std::uint64_t
+MetadataStore::footprintBytes() const
+{
+    std::lock_guard<std::mutex> lk(footprintLock_);
+    return liveResources_ * (sizeof(Resource) + mapNodeOverhead) +
+           livePageMetas_ * (sizeof(PageMeta) + mapNodeOverhead);
+}
+
+Resource&
+MetadataStore::emplaceResource(DomainId domain)
+{
+    ResourceId id;
+    {
+        std::lock_guard<std::mutex> lk(idLock_);
+        id = nextId_++;
+    }
+    std::uint32_t idx = shardOfDomain(domain);
+    Shard& sh = *shards_[idx];
+    Resource* res;
+    {
+        std::lock_guard<std::mutex> lk(sh.lock);
+        res = &sh.resources[id];
+    }
+    res->id = id;
+    res->keyId = id;
+    res->domain = domain;
+    {
+        std::lock_guard<std::mutex> lk(directoryLock_);
+        shardIndex_[id] = idx;
+    }
+    return *res;
 }
 
 Resource&
 MetadataStore::createResource(DomainId domain, bool is_file,
                               std::uint64_t file_key)
 {
-    ResourceId id = nextId_++;
-    Resource& res = resources_[id];
-    res.id = id;
-    res.keyId = id;
-    res.domain = domain;
+    Resource& res = emplaceResource(domain);
     res.isFile = is_file;
     res.fileKey = file_key;
+    accountPages(+1, 0);
     stats_.counter("resources_created").inc();
     return res;
 }
@@ -34,12 +109,10 @@ MetadataStore::createResource(DomainId domain, bool is_file,
 Resource&
 MetadataStore::cloneResource(const Resource& src, DomainId new_domain)
 {
-    ResourceId id = nextId_++;
-    Resource& res = resources_[id];
-    res.id = id;
+    Resource& res = emplaceResource(new_domain);
     res.keyId = src.keyId;   // Alias the key: copied ciphertext stays
                              // decryptable in the clone.
-    res.domain = new_domain;
+    res.key = src.key;       // Handle aliases with the key id.
     res.isFile = src.isFile;
     res.fileKey = src.fileKey;
     res.pages = src.pages;
@@ -55,28 +128,69 @@ MetadataStore::cloneResource(const Resource& src, DomainId new_domain)
         }
         meta.residentGpa = badAddr;
     }
+    accountPages(+1, static_cast<std::int64_t>(res.pages.size()));
     stats_.counter("resources_cloned").inc();
     return res;
 }
 
-Resource*
-MetadataStore::find(ResourceId id)
+Expected<Resource*, CloakError>
+MetadataStore::lookup(ResourceId id)
 {
-    auto it = resources_.find(id);
-    return it == resources_.end() ? nullptr : &it->second;
+    std::uint32_t idx;
+    {
+        std::lock_guard<std::mutex> lk(directoryLock_);
+        auto it = shardIndex_.find(id);
+        if (it == shardIndex_.end())
+            return Error(CloakError::UnknownResource);
+        idx = it->second;
+    }
+    Shard& sh = *shards_[idx];
+    std::lock_guard<std::mutex> lk(sh.lock);
+    auto it = sh.resources.find(id);
+    if (it == sh.resources.end()) {
+        // The directory said the shard owns the id but the shard lost
+        // it — a store-consistency failure distinct from a stale id.
+        stats_.counter("shard_misses").inc();
+        return Error(CloakError::ShardMiss);
+    }
+    return &it->second;
 }
 
 void
 MetadataStore::destroyResource(ResourceId id)
 {
     purgeCache(id);
-    resources_.erase(id);
+    std::uint32_t idx;
+    bool known = false;
+    {
+        std::lock_guard<std::mutex> lk(directoryLock_);
+        auto it = shardIndex_.find(id);
+        if (it != shardIndex_.end()) {
+            idx = it->second;
+            known = true;
+            shardIndex_.erase(it);
+        }
+    }
+    if (known) {
+        Shard& sh = *shards_[idx];
+        std::int64_t pages = 0;
+        {
+            std::lock_guard<std::mutex> lk(sh.lock);
+            auto it = sh.resources.find(id);
+            if (it != sh.resources.end()) {
+                pages = static_cast<std::int64_t>(it->second.pages.size());
+                sh.resources.erase(it);
+            }
+        }
+        accountPages(-1, -pages);
+    }
     stats_.counter("resources_destroyed").inc();
 }
 
 void
 MetadataStore::purgeCache(ResourceId res)
 {
+    std::lock_guard<std::mutex> lk(cacheLock_);
     // CacheKey ordering is (resource, page), so one range scan covers
     // every page of the resource.
     auto it = cacheIndex_.lower_bound(CacheKey{res, 0});
@@ -99,6 +213,7 @@ void
 MetadataStore::touchCache(ResourceId res, std::uint64_t page_index)
 {
     CacheKey key{res, page_index};
+    std::lock_guard<std::mutex> lk(cacheLock_);
     auto it = cacheIndex_.find(key);
     if (it != cacheIndex_.end()) {
         lru_.splice(lru_.begin(), lru_, it->second);
@@ -122,15 +237,19 @@ MetadataStore::page(Resource& res, std::uint64_t page_index)
         // splice instead of inserting a duplicate node, which would
         // orphan the old one and later erase the live index entry.
         CacheKey key{res.id, page_index};
-        cost_.charge(cost_.params().metadataHit, "metadata_hit");
-        auto cit = cacheIndex_.find(key);
-        if (cit != cacheIndex_.end()) {
-            lru_.splice(lru_.begin(), lru_, cit->second);
-        } else {
-            lru_.push_front(key);
-            cacheIndex_[key] = lru_.begin();
-            evictToCapacity();
+        {
+            std::lock_guard<std::mutex> lk(cacheLock_);
+            cost_.charge(cost_.params().metadataHit, "metadata_hit");
+            auto cit = cacheIndex_.find(key);
+            if (cit != cacheIndex_.end()) {
+                lru_.splice(lru_.begin(), lru_, cit->second);
+            } else {
+                lru_.push_front(key);
+                cacheIndex_[key] = lru_.begin();
+                evictToCapacity();
+            }
         }
+        accountPages(0, +1);
         return res.pages[page_index];
     }
     touchCache(res.id, page_index);
@@ -141,6 +260,7 @@ void
 MetadataStore::setCacheCapacity(std::size_t capacity)
 {
     osh_assert(capacity > 0, "metadata cache needs capacity");
+    std::lock_guard<std::mutex> lk(cacheLock_);
     cacheCapacity_ = capacity;
     evictToCapacity();
 }
@@ -156,7 +276,11 @@ std::vector<std::uint8_t>
 MetadataStore::seal(const Resource& res, const crypto::HmacKey& seal_key,
                     const crypto::Digest& owner_identity)
 {
-    std::uint64_t version = ++sealVersions_[res.fileKey];
+    std::uint64_t version;
+    {
+        std::lock_guard<std::mutex> lk(sealLock_);
+        version = ++sealVersions_[res.fileKey];
+    }
 
     std::vector<std::uint8_t> out;
     auto put64 = [&out](std::uint64_t v) {
@@ -183,7 +307,7 @@ MetadataStore::seal(const Resource& res, const crypto::HmacKey& seal_key,
     return out;
 }
 
-bool
+Expected<void, CloakError>
 MetadataStore::unseal(std::span<const std::uint8_t> bundle,
                       const crypto::Digest& seal_key,
                       const crypto::Digest& owner_identity, Resource& dst)
@@ -191,14 +315,14 @@ MetadataStore::unseal(std::span<const std::uint8_t> bundle,
     return unseal(bundle, crypto::HmacKey(seal_key), owner_identity, dst);
 }
 
-bool
+Expected<void, CloakError>
 MetadataStore::unseal(std::span<const std::uint8_t> bundle,
                       const crypto::HmacKey& seal_key,
                       const crypto::Digest& owner_identity, Resource& dst)
 {
     constexpr std::size_t mac_size = crypto::sha256DigestSize;
     if (bundle.size() < 8 + 8 + mac_size + 32 + 8)
-        return false;
+        return Error(CloakError::SealMalformed);
 
     std::span<const std::uint8_t> body =
         bundle.first(bundle.size() - mac_size);
@@ -206,7 +330,7 @@ MetadataStore::unseal(std::span<const std::uint8_t> bundle,
     crypto::Digest expect = crypto::hmacSha256(seal_key, body);
     if (!constantTimeEqual(expect, mac)) {
         stats_.counter("unseal_bad_mac").inc();
-        return false;
+        return Error(CloakError::SealBadMac);
     }
 
     std::size_t pos = 0;
@@ -223,23 +347,27 @@ MetadataStore::unseal(std::span<const std::uint8_t> bundle,
     pos += identity.size();
     if (!constantTimeEqual(identity, owner_identity)) {
         stats_.counter("unseal_bad_identity").inc();
-        return false;
+        return Error(CloakError::SealBadIdentity);
     }
 
     // Rollback detection: refuse bundles older than the newest seal we
     // have witnessed for this file key.
-    auto vit = sealVersions_.find(file_key);
-    if (vit != sealVersions_.end() && version < vit->second) {
-        stats_.counter("unseal_rollback").inc();
-        return false;
+    {
+        std::lock_guard<std::mutex> lk(sealLock_);
+        auto vit = sealVersions_.find(file_key);
+        if (vit != sealVersions_.end() && version < vit->second) {
+            stats_.counter("unseal_rollback").inc();
+            return Error(CloakError::SealRollback);
+        }
     }
 
     std::uint64_t count;
     get64(count);
     constexpr std::size_t per_page = 8 + 8 + 1 + 16 + 32;
     if (body.size() - pos != count * per_page)
-        return false;
+        return Error(CloakError::SealMalformed);
 
+    std::int64_t old_pages = static_cast<std::int64_t>(dst.pages.size());
     dst.fileKey = file_key;
     dst.pages.clear();
     // The reload drops every existing page; stale cache keys would
@@ -261,19 +389,24 @@ MetadataStore::unseal(std::span<const std::uint8_t> bundle,
         meta.residentGpa = badAddr;
         dst.pages[idx] = meta;
     }
+    accountPages(0, static_cast<std::int64_t>(count) - old_pages);
     // Advance the rollback floor: once a bundle of this version has
     // been accepted, anything older is a replay — even in a store that
     // never sealed this file key itself (fresh boot).
-    std::uint64_t& floor_version = sealVersions_[file_key];
-    if (version > floor_version)
-        floor_version = version;
+    {
+        std::lock_guard<std::mutex> lk(sealLock_);
+        std::uint64_t& floor_version = sealVersions_[file_key];
+        if (version > floor_version)
+            floor_version = version;
+    }
     stats_.counter("unseals").inc();
-    return true;
+    return {};
 }
 
 std::uint64_t
 MetadataStore::lastSealedVersion(std::uint64_t file_key) const
 {
+    std::lock_guard<std::mutex> lk(sealLock_);
     auto it = sealVersions_.find(file_key);
     return it == sealVersions_.end() ? 0 : it->second;
 }
@@ -282,6 +415,7 @@ void
 MetadataStore::importSealVersions(
     const std::map<std::uint64_t, std::uint64_t>& floors)
 {
+    std::lock_guard<std::mutex> lk(sealLock_);
     for (const auto& [file_key, version] : floors) {
         std::uint64_t& floor_version = sealVersions_[file_key];
         if (version > floor_version)
@@ -292,6 +426,7 @@ MetadataStore::importSealVersions(
 void
 MetadataStore::reserveIds(ResourceId min_next)
 {
+    std::lock_guard<std::mutex> lk(idLock_);
     if (min_next > nextId_)
         nextId_ = min_next;
 }

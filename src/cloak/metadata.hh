@@ -10,23 +10,44 @@
  * memory — the guest can never touch it — and can be *sealed*
  * (serialized + HMAC) for persistence alongside protected files.
  *
+ * Resources are partitioned into lock-striped shards keyed by the
+ * owning protection domain (per-ASID in this system: one domain per
+ * cloaked address space), with a directory mapping resource ids to
+ * their shard. Concurrent vCPUs resolving faults in different address
+ * spaces therefore touch different stripes. Resource ids stay globally
+ * monotonic from a single counter regardless of shard count — ids feed
+ * AES key derivation, so they must be shard-count invariant.
+ *
  * A capacity-bounded LRU models the paper's metadata cache: lookups
- * charge metadataHit or metadataMiss cycles accordingly.
+ * charge metadataHit or metadataMiss cycles accordingly. The cache
+ * model deliberately stays a single global LRU (with its own lock):
+ * splitting it per shard would change the eviction sequence — and the
+ * charged cycles — with the shard count, breaking the determinism bar.
+ *
+ * Fallible entry points (lookup, unseal) return
+ * Expected<T, CloakError> with typed codes, so a shard miss and an
+ * integrity failure are distinguishable at every call site and the
+ * engine's audit ring can record the precise cause.
  */
 
 #ifndef OSH_CLOAK_METADATA_HH
 #define OSH_CLOAK_METADATA_HH
 
+#include "base/expected.hh"
 #include "base/stats.hh"
 #include "base/types.hh"
+#include "cloak/errors.hh"
 #include "crypto/ctr.hh"
 #include "crypto/hmac.hh"
+#include "crypto/keys.hh"
 #include "crypto/sha256.hh"
 #include "sim/cost_model.hh"
 
 #include <cstdint>
 #include <list>
 #include <map>
+#include <memory>
+#include <mutex>
 #include <optional>
 #include <unordered_map>
 #include <vector>
@@ -66,6 +87,12 @@ struct Resource
      * ciphertext remains decryptable. For private resources keyId==id.
      */
     ResourceId keyId = 0;
+    /**
+     * Pre-resolved key material for keyId (cipher + sealing HMAC),
+     * acquired once at cloak-attach. The fault hot path encrypts and
+     * decrypts through this handle — never through a key-map lookup.
+     */
+    crypto::KeyHandle key;
     DomainId domain = systemDomain;
     bool isFile = false;
     std::uint64_t fileKey = 0;    ///< Stable file identity (path hash).
@@ -82,19 +109,29 @@ class MetadataStore
     /**
      * @param cost Cost model charged on lookups.
      * @param cache_capacity Entries the hot metadata cache holds.
+     * @param shard_count Lock stripes for resource storage (>= 1).
+     *   Guest-visible behavior — ids, cycles, cache hit/miss order —
+     *   is identical for every shard count.
      */
-    MetadataStore(sim::CostModel& cost, std::size_t cache_capacity = 1024);
+    MetadataStore(sim::CostModel& cost, std::size_t cache_capacity = 1024,
+                  std::size_t shard_count = 1);
 
-    /** Create a fresh resource. */
+    /** Create a fresh resource, homed in its domain's shard. */
     Resource& createResource(DomainId domain, bool is_file = false,
                              std::uint64_t file_key = 0);
 
     /** Clone a resource (fork): copies metadata, aliases the key. */
     Resource& cloneResource(const Resource& src, DomainId new_domain);
 
-    Resource* find(ResourceId id);
+    /**
+     * Resolve a resource id through the shard directory. Typed
+     * failures: UnknownResource when the directory has never seen the
+     * id (or it was destroyed), ShardMiss when the directory names a
+     * shard that no longer holds it (a store-consistency bug).
+     */
+    Expected<Resource*, CloakError> lookup(ResourceId id);
 
-    /** Remove a resource entirely. */
+    /** Remove a resource entirely (no-op for unknown ids). */
     void destroyResource(ResourceId id);
 
     /**
@@ -123,15 +160,19 @@ class MetadataStore
                                    const crypto::Digest& owner_identity);
 
     /**
-     * Verify and import a sealed bundle into @p dst. Fails (false) on a
-     * bad MAC, an identity mismatch, or a rolled-back bundle version.
+     * Verify and import a sealed bundle into @p dst. Fails with a
+     * typed code: SealBadMac (MAC mismatch), SealBadIdentity (sealed
+     * under another identity), SealRollback (older than the witnessed
+     * floor), SealMalformed (truncated/structurally invalid).
      */
-    bool unseal(std::span<const std::uint8_t> bundle,
-                const crypto::HmacKey& seal_key,
-                const crypto::Digest& owner_identity, Resource& dst);
-    bool unseal(std::span<const std::uint8_t> bundle,
-                const crypto::Digest& seal_key,
-                const crypto::Digest& owner_identity, Resource& dst);
+    Expected<void, CloakError> unseal(std::span<const std::uint8_t> bundle,
+                                      const crypto::HmacKey& seal_key,
+                                      const crypto::Digest& owner_identity,
+                                      Resource& dst);
+    Expected<void, CloakError> unseal(std::span<const std::uint8_t> bundle,
+                                      const crypto::Digest& seal_key,
+                                      const crypto::Digest& owner_identity,
+                                      Resource& dst);
 
     /** Latest sealed version seen for a file key (rollback floor). */
     std::uint64_t lastSealedVersion(std::uint64_t file_key) const;
@@ -143,8 +184,10 @@ class MetadataStore
      * version witnessed). A checkpoint must carry it: a restored store
      * that forgot the floors would accept replayed older bundles.
      */
-    const std::map<std::uint64_t, std::uint64_t>& sealVersions() const
+    std::map<std::uint64_t, std::uint64_t>
+    sealVersions() const
     {
+        std::lock_guard<std::mutex> lk(sealLock_);
         return sealVersions_;
     }
 
@@ -163,6 +206,22 @@ class MetadataStore
      */
     void reserveIds(ResourceId min_next);
 
+    // Footprint / sharding introspection -----------------------------------
+
+    std::size_t shardCount() const { return shards_.size(); }
+
+    /** Live resources across every shard. */
+    std::size_t resourceCount() const;
+
+    /** Live PageMeta entries across every shard. */
+    std::uint64_t pageMetaCount() const;
+
+    /** Rough bytes of VMM-private memory the live metadata occupies. */
+    std::uint64_t footprintBytes() const;
+
+    /** High-water mark of footprintBytes() over the store's lifetime. */
+    std::uint64_t peakFootprintBytes() const { return peakFootprint_; }
+
     // Cache introspection (consistency tests) ------------------------------
 
     /** Keys currently occupying cache capacity. */
@@ -180,6 +239,24 @@ class MetadataStore
     StatGroup& stats() { return stats_; }
 
   private:
+    /** One lock stripe: the resources homed in it. std::map keeps
+     *  Resource references stable across inserts. */
+    struct Shard
+    {
+        mutable std::mutex lock;
+        std::map<ResourceId, Resource> resources;
+    };
+
+    /** Shard a domain's resources are homed in (stable, seed-free). */
+    std::uint32_t
+    shardOfDomain(DomainId domain) const
+    {
+        return static_cast<std::uint32_t>(domain % shards_.size());
+    }
+
+    /** Mint a resource in @p domain's shard and index it. */
+    Resource& emplaceResource(DomainId domain);
+
     void touchCache(ResourceId res, std::uint64_t page_index);
 
     /** Drop every cached key of one resource (destroy/unseal reload). */
@@ -188,18 +265,44 @@ class MetadataStore
     /** Shrink the LRU to the configured capacity. */
     void evictToCapacity();
 
+    /** Fold page-count deltas into the footprint accounting. */
+    void accountPages(std::int64_t resources_delta,
+                      std::int64_t pages_delta);
+
     sim::CostModel& cost_;
     std::size_t cacheCapacity_;
-    std::map<ResourceId, Resource> resources_;
+
+    std::vector<std::unique_ptr<Shard>> shards_;
+
+    /** Resource id -> owning shard. The only global map on lookups;
+     *  reads take directoryLock_ briefly, never a shard lock. */
+    mutable std::mutex directoryLock_;
+    std::unordered_map<ResourceId, std::uint32_t> shardIndex_;
+
+    /** Globally monotonic id mint (ids derive AES keys, so they must
+     *  not depend on shard count). */
+    mutable std::mutex idLock_;
     ResourceId nextId_ = 1;
 
-    /** LRU cache model: key = (resource, page). */
+    /**
+     * LRU cache model: key = (resource, page). Global across shards —
+     * see the file comment for why — and only touched from the
+     * serialized fault/seal paths, guarded for structure by cacheLock_.
+     */
     using CacheKey = std::pair<ResourceId, std::uint64_t>;
+    mutable std::mutex cacheLock_;
     std::list<CacheKey> lru_;
     std::map<CacheKey, std::list<CacheKey>::iterator> cacheIndex_;
 
     /** Monotonic bundle versions per file key (rollback detection). */
+    mutable std::mutex sealLock_;
     std::map<std::uint64_t, std::uint64_t> sealVersions_;
+
+    /** Footprint accounting (tracks store-managed allocations). */
+    mutable std::mutex footprintLock_;
+    std::uint64_t liveResources_ = 0;
+    std::uint64_t livePageMetas_ = 0;
+    std::uint64_t peakFootprint_ = 0;
 
     StatGroup stats_;
 };

@@ -1,19 +1,24 @@
 #include "crypto/keys.hh"
 
 #include "base/bytes.hh"
+#include "base/logging.hh"
 
 #include <cstring>
 
 namespace osh::crypto
 {
 
-KeyManager::KeyManager(std::uint64_t master_seed)
+KeyManager::KeyManager(std::uint64_t master_seed, std::size_t shards)
 {
+    osh_assert(shards > 0, "KeyManager needs at least one shard");
     std::uint8_t seed_bytes[16] = {};
     storeLe64(seed_bytes, master_seed);
     std::memcpy(seed_bytes + 8, "OSHMSTR!", 8);
     master_ = Sha256::hash(seed_bytes);
     masterHmac_ = HmacKey(master_);
+    shards_.reserve(shards);
+    for (std::size_t i = 0; i < shards; ++i)
+        shards_.push_back(std::make_unique<Shard>());
 }
 
 AesKey
@@ -28,28 +33,76 @@ KeyManager::deriveAesKey(ResourceId resource) const
     return key;
 }
 
+Digest
+KeyManager::deriveSealingKey(ResourceId resource) const
+{
+    std::uint8_t info[16] = {};
+    storeLe64(info, resource);
+    std::memcpy(info + 8, "sealkey\0", 8);
+    return hmacSha256(masterHmac_, info);
+}
+
+const Aes128&
+KeyManager::cipherLocked(Shard& sh, ResourceId resource)
+{
+    auto it = sh.ciphers.find(resource);
+    if (it == sh.ciphers.end()) {
+        it = sh.ciphers
+                 .emplace(resource, std::make_unique<Aes128>(
+                                        deriveAesKey(resource)))
+                 .first;
+    }
+    return *it->second;
+}
+
+const HmacKey&
+KeyManager::sealingHmacLocked(const Shard& sh, ResourceId resource) const
+{
+    auto it = sh.sealingHmacs.find(resource);
+    if (it == sh.sealingHmacs.end()) {
+        auto kit = sh.sealingKeys.find(resource);
+        if (kit == sh.sealingKeys.end()) {
+            kit = sh.sealingKeys
+                      .emplace(resource, deriveSealingKey(resource))
+                      .first;
+        }
+        it = sh.sealingHmacs.emplace(resource, HmacKey(kit->second))
+                 .first;
+    }
+    return it->second;
+}
+
+KeyHandle
+KeyManager::acquire(ResourceId resource)
+{
+    std::uint32_t idx = shardOf(resource);
+    Shard& sh = *shards_[idx];
+    std::lock_guard<std::mutex> lk(sh.lock);
+    KeyHandle h;
+    h.cipher_ = &cipherLocked(sh, resource);
+    h.sealingHmac_ = &sealingHmacLocked(sh, resource);
+    h.keyId_ = resource;
+    h.shard_ = idx;
+    return h;
+}
+
 const Aes128&
 KeyManager::pageCipher(ResourceId resource)
 {
-    auto it = ciphers_.find(resource);
-    if (it == ciphers_.end()) {
-        it = ciphers_.emplace(resource,
-                              std::make_unique<Aes128>(
-                                  deriveAesKey(resource))).first;
-    }
-    return *it->second;
+    Shard& sh = *shards_[shardOf(resource)];
+    std::lock_guard<std::mutex> lk(sh.lock);
+    return cipherLocked(sh, resource);
 }
 
 Digest
 KeyManager::sealingKey(ResourceId resource) const
 {
-    auto it = sealingKeys_.find(resource);
-    if (it == sealingKeys_.end()) {
-        std::uint8_t info[16] = {};
-        storeLe64(info, resource);
-        std::memcpy(info + 8, "sealkey\0", 8);
-        it = sealingKeys_.emplace(resource,
-                                  hmacSha256(masterHmac_, info)).first;
+    const Shard& sh = *shards_[shardOf(resource)];
+    std::lock_guard<std::mutex> lk(sh.lock);
+    auto it = sh.sealingKeys.find(resource);
+    if (it == sh.sealingKeys.end()) {
+        it = sh.sealingKeys.emplace(resource, deriveSealingKey(resource))
+                 .first;
     }
     return it->second;
 }
@@ -66,12 +119,20 @@ KeyManager::migrationKey(std::uint64_t nonce) const
 const HmacKey&
 KeyManager::sealingHmacKey(ResourceId resource) const
 {
-    auto it = sealingHmacs_.find(resource);
-    if (it == sealingHmacs_.end()) {
-        it = sealingHmacs_.emplace(resource,
-                                   HmacKey(sealingKey(resource))).first;
+    const Shard& sh = *shards_[shardOf(resource)];
+    std::lock_guard<std::mutex> lk(sh.lock);
+    return sealingHmacLocked(sh, resource);
+}
+
+std::size_t
+KeyManager::derivedKeyCount() const
+{
+    std::size_t n = 0;
+    for (const auto& sh : shards_) {
+        std::lock_guard<std::mutex> lk(sh->lock);
+        n += sh->ciphers.size();
     }
-    return it->second;
+    return n;
 }
 
 } // namespace osh::crypto

@@ -13,6 +13,14 @@
  * schedule, the sealing key bytes, and the HMAC ipad/opad midstates for
  * both the master (key derivation) and each sealing key (metadata
  * MACs). Hot paths never re-run a key schedule or pad hash.
+ *
+ * The cache is lock-striped into shards keyed by resource id, so
+ * concurrent vCPUs taking cloak faults on different address spaces
+ * never contend on one global key map. Derivation itself is pure
+ * (HMAC of the master secret), so the derived bytes are identical for
+ * every shard count. The fault hot path does not even take the shard
+ * lock: resources resolve a KeyHandle once at cloak-attach and use its
+ * cached pointers from then on.
  */
 
 #ifndef OSH_CRYPTO_KEYS_HH
@@ -25,18 +33,76 @@
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <span>
 #include <unordered_map>
+#include <vector>
 
 namespace osh::crypto
 {
+
+class KeyManager;
+
+/**
+ * An opaque, pre-resolved reference to one resource's key material.
+ *
+ * Acquired once (at cloak-attach / resource creation) and carried in
+ * the resource, it pins the expanded AES schedule and the prepared
+ * sealing-HMAC midstate, so page faults and seal operations never
+ * repeat a map lookup. The shard index makes key ownership explicit in
+ * the type: two handles with different shard() values can never alias
+ * a lock. Handles stay valid for the KeyManager's lifetime (both
+ * caches are node-stable).
+ */
+class KeyHandle
+{
+  public:
+    KeyHandle() = default;
+
+    bool valid() const { return cipher_ != nullptr; }
+    ResourceId keyId() const { return keyId_; }
+    /** Index of the key shard that owns this resource's material. */
+    std::uint32_t shard() const { return shard_; }
+
+    const Aes128&
+    cipher() const
+    {
+        return *cipher_;
+    }
+
+    const HmacKey&
+    sealingHmac() const
+    {
+        return *sealingHmac_;
+    }
+
+  private:
+    friend class KeyManager;
+
+    const Aes128* cipher_ = nullptr;
+    const HmacKey* sealingHmac_ = nullptr;
+    ResourceId keyId_ = 0;
+    std::uint32_t shard_ = 0;
+};
 
 /** Derives and caches per-resource keys from the VMM master secret. */
 class KeyManager
 {
   public:
-    /** @param master_seed Deterministic seed for the master secret. */
-    explicit KeyManager(std::uint64_t master_seed);
+    /**
+     * @param master_seed Deterministic seed for the master secret.
+     * @param shards Lock stripes for the key cache (>= 1). Purely a
+     *   contention knob: derived key bytes are shard-count invariant.
+     */
+    explicit KeyManager(std::uint64_t master_seed,
+                        std::size_t shards = 1);
+
+    /**
+     * Resolve (deriving and caching as needed) the full key material
+     * of a resource into a handle. Called once per resource at
+     * cloak-attach; everything downstream uses the handle.
+     */
+    KeyHandle acquire(ResourceId resource);
 
     /**
      * The AES-128 cipher for a resource's page encryption. The returned
@@ -63,17 +129,43 @@ class KeyManager
      */
     Digest migrationKey(std::uint64_t nonce) const;
 
-    /** Number of distinct resource keys derived so far. */
-    std::size_t derivedKeyCount() const { return ciphers_.size(); }
+    /** Number of distinct resource page keys derived so far. */
+    std::size_t derivedKeyCount() const;
+
+    std::size_t shardCount() const { return shards_.size(); }
+
+    /** Shard owning a resource's key material (stable, seed-free). */
+    std::uint32_t
+    shardOf(ResourceId resource) const
+    {
+        return static_cast<std::uint32_t>(
+            (resource * 0x9e3779b97f4a7c15ull >> 32) % shards_.size());
+    }
 
   private:
+    /**
+     * One lock stripe of the key cache. Both maps are node-stable:
+     * rehashing never moves elements, so handle pointers survive.
+     */
+    struct Shard
+    {
+        mutable std::mutex lock;
+        std::unordered_map<ResourceId, std::unique_ptr<Aes128>> ciphers;
+        mutable std::unordered_map<ResourceId, Digest> sealingKeys;
+        mutable std::unordered_map<ResourceId, HmacKey> sealingHmacs;
+    };
+
     AesKey deriveAesKey(ResourceId resource) const;
+    Digest deriveSealingKey(ResourceId resource) const;
+
+    /** Cipher entry of @p resource in @p sh; caller holds sh.lock. */
+    const Aes128& cipherLocked(Shard& sh, ResourceId resource);
+    const HmacKey& sealingHmacLocked(const Shard& sh,
+                                     ResourceId resource) const;
 
     Digest master_;
     HmacKey masterHmac_;
-    std::unordered_map<ResourceId, std::unique_ptr<Aes128>> ciphers_;
-    mutable std::unordered_map<ResourceId, Digest> sealingKeys_;
-    mutable std::unordered_map<ResourceId, HmacKey> sealingHmacs_;
+    std::vector<std::unique_ptr<Shard>> shards_;
 };
 
 } // namespace osh::crypto

@@ -339,7 +339,8 @@ checkpoint(system::System& sys, Pid pid, const CheckpointOptions& options)
         writer.append(RecordType::Region, p.view());
     }
     for (std::uint64_t i = 0; i < ordered.size(); ++i) {
-        cloak::Resource* res = engine->metadata().find(ordered[i]);
+        cloak::Resource* res =
+            engine->metadata().lookup(ordered[i]).valueOr(nullptr);
         osh_assert(res != nullptr, "domain region names a dead resource");
         PayloadWriter p;
         p.u64(i);

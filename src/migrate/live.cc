@@ -24,7 +24,8 @@ collectDirty(system::System& sys, const cloak::Domain& domain,
     std::set<GuestVA> dirty;
     cloak::CloakEngine* engine = sys.cloak();
     for (const cloak::Region& r : domain.regions) {
-        const cloak::Resource* res = engine->metadata().find(r.resource);
+        const cloak::Resource* res =
+            engine->metadata().lookup(r.resource).valueOr(nullptr);
         if (res == nullptr)
             continue;
         std::uint64_t region_pages = (r.end - r.start) / pageSize;

@@ -17,6 +17,32 @@ Scheduler::Scheduler(sim::CostModel& cost) : cost_(cost), stats_("sched")
 {
 }
 
+void
+Scheduler::configureCpus(std::size_t count)
+{
+    osh_assert(count > 0, "scheduler needs at least one CPU");
+    osh_assert(started_ == 0,
+               "configureCpus after threads were created");
+    cpuCount_ = count;
+    nextCpuSlot_ = 0;
+}
+
+void
+Scheduler::assignCpu(Thread* t)
+{
+    // Single-core runs take the exact legacy path: no slot bookkeeping,
+    // no extra stat keys, cpu stays 0.
+    if (cpuCount_ <= 1)
+        return;
+    auto slot = static_cast<std::uint32_t>(nextCpuSlot_);
+    nextCpuSlot_ = (nextCpuSlot_ + 1) % cpuCount_;
+    stats_.counter("dispatches").inc();
+    if (t->vcpu.cpu() != slot) {
+        stats_.counter("cpu_migrations").inc();
+        t->vcpu.setCpu(slot);
+    }
+}
+
 Scheduler::~Scheduler()
 {
     {
@@ -40,6 +66,7 @@ Scheduler::createThread(Pid pid, vmm::Vmm& vmm, const vmm::Context& ctx,
     t->body = std::move(body);
     t->state = Thread::State::Ready;
     threads_.push_back(std::move(owned));
+    active_.push_back(t);
     readyQueue_.push_back(t);
     ++liveCount_;
     ++started_;
@@ -76,8 +103,9 @@ Scheduler::switchFrom(Thread* cur, std::unique_lock<std::mutex>& lk,
         current_ = next;
         if (next != cur) {
             cost_.charge(cost_.params().contextSwitch, "context_switch");
+            assignCpu(next);
             if (switchHook_)
-                switchHook_();
+                switchHook_(*next);
             next->cv.notify_all();
         }
     } else {
@@ -162,15 +190,20 @@ Scheduler::block(const void* channel)
 void
 Scheduler::wakeAll(const void* channel)
 {
-    for (auto& t : threads_) {
+    std::size_t out = 0;
+    for (Thread* t : active_) {
+        if (t->state == Thread::State::Zombie)
+            continue; // Compact finished threads out of the scan set.
         if (t->state == Thread::State::Blocked &&
             t->waitChannel == channel) {
             t->state = Thread::State::Ready;
             t->waitChannel = nullptr;
-            readyQueue_.push_back(t.get());
+            readyQueue_.push_back(t);
             stats_.counter("wakeups").inc();
         }
+        active_[out++] = t;
     }
+    active_.resize(out);
 }
 
 void
@@ -209,6 +242,24 @@ Scheduler::resumeFrozen(Thread& t)
     stats_.counter("thaws").inc();
 }
 
+std::size_t
+Scheduler::reapFinished()
+{
+    {
+        std::unique_lock<std::mutex> lk(lock_);
+        osh_assert(current_ == nullptr,
+                   "reapFinished while a guest thread is running");
+    }
+    std::size_t n = 0;
+    for (auto& t : threads_) {
+        if (t->state == Thread::State::Zombie && t->host.joinable()) {
+            t->host.join();
+            ++n;
+        }
+    }
+    return n;
+}
+
 std::uint64_t
 Scheduler::run()
 {
@@ -227,6 +278,7 @@ Scheduler::run()
     readyQueue_.pop_front();
     next->state = Thread::State::Running;
     current_ = next;
+    assignCpu(next);
     next->cv.notify_all();
 
     driverCv_.wait(lk, [this] { return liveCount_ == 0 || paused_; });

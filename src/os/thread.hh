@@ -151,16 +151,35 @@ class Scheduler
     /**
      * Hook invoked (with the simulation lock held) whenever the CPU is
      * handed to a *different* thread — the simulator's CR3-write point.
-     * The system layer uses it to tell the VMM about context switches
-     * (shadow/TLB retention policy).
+     * The incoming thread is passed so the system layer can tell the
+     * VMM which vCPU slot took the switch (shadow/TLB retention).
      */
-    void setSwitchHook(std::function<void()> hook)
+    void setSwitchHook(std::function<void(Thread&)> hook)
     {
         switchHook_ = std::move(hook);
     }
 
+    /**
+     * Number of simulated physical cores threads are dispatched onto
+     * (SMP). Dispatch order is unchanged — the single ready queue still
+     * decides who runs next — so guest-visible execution is identical
+     * at any count; only the vCPU slot (and hence which private TLB a
+     * thread warms) varies. Must be set before run().
+     */
+    void configureCpus(std::size_t count);
+    std::size_t cpuCount() const { return cpuCount_; }
+
     /** Number of live (non-zombie) threads. */
     std::uint64_t liveThreads() const { return liveCount_; }
+
+    /**
+     * Driver context (no thread running): join the host threads of
+     * guest threads that have exited, releasing their host stacks. The
+     * Thread objects stay (other layers may hold results keyed off
+     * them). Lets a many-thousand-process sweep run in bounded host
+     * memory; returns the number of host threads joined.
+     */
+    std::size_t reapFinished();
 
     StatGroup& stats() { return stats_; }
 
@@ -175,14 +194,29 @@ class Scheduler
     void switchFrom(Thread* cur, std::unique_lock<std::mutex>& lk,
                     bool exiting);
 
+    /**
+     * Bind a freshly dispatched thread to a core slot (seeded
+     * round-robin). A no-op on single-core runs, so the legacy stat
+     * set and slot-0 TLB behavior are untouched there.
+     */
+    void assignCpu(Thread* t);
+
     sim::CostModel& cost_;
     std::mutex lock_;
     std::condition_variable driverCv_;
 
-    std::function<void()> switchHook_;
+    std::function<void(Thread&)> switchHook_;
     std::vector<std::unique_ptr<Thread>> threads_;
+    /** Non-zombie threads, the wakeAll scan set. Finished threads are
+     *  dropped lazily so scans stay proportional to live threads, not
+     *  to every thread ever created. */
+    std::vector<Thread*> active_;
     std::deque<Thread*> readyQueue_;
     Thread* current_ = nullptr;
+    /** Simulated physical cores (1 = exact legacy single-core path). */
+    std::size_t cpuCount_ = 1;
+    /** Next round-robin core slot handed out at dispatch. */
+    std::size_t nextCpuSlot_ = 0;
     std::uint64_t liveCount_ = 0;
     std::uint64_t started_ = 0;
     bool driverWaiting_ = false;

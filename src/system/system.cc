@@ -57,6 +57,21 @@ SystemConfig::Builder::build() const
             "SystemConfig: cryptoWorkers configured with cloaking "
             "disabled — there is no page crypto to parallelize");
     }
+    if (cfg_.vcpus > 64) {
+        throw std::invalid_argument(
+            "SystemConfig: vcpus > 64 — the SMP model does not scale "
+            "past commodity core counts (0 means single-core)");
+    }
+    if (cfg_.metadataShards > 256) {
+        throw std::invalid_argument(
+            "SystemConfig: metadataShards > 256 — stripes beyond any "
+            "plausible core count only waste memory (0 follows vcpus)");
+    }
+    if (!cfg_.cloakingEnabled && cfg_.metadataShards > 1) {
+        throw std::invalid_argument(
+            "SystemConfig: metadataShards configured with cloaking "
+            "disabled — there is no protection metadata to shard");
+    }
     if (cfg_.attackSeed != 0 && cfg_.attackSeed == cfg_.seed) {
         throw std::invalid_argument(
             "SystemConfig: attackSeed must differ from seed — an "
@@ -74,10 +89,15 @@ System::System(const SystemConfig& config)
       kernel_(vmm_, sched_, programs_)
 {
     vmm_.setShadowRetention(config.shadowRetention);
-    sched_.setSwitchHook([this] { vmm_.onContextSwitch(); });
+    vmm_.setVcpuCount(config.effectiveVcpus());
+    sched_.configureCpus(config.effectiveVcpus());
+    sched_.setSwitchHook([this](os::Thread& t) {
+        vmm_.onContextSwitch(t.vcpu.cpu());
+    });
     if (config.cloakingEnabled) {
         engine_ = std::make_unique<cloak::CloakEngine>(
-            vmm_, config.seed ^ 0x05ead0u, config.metadataCacheEntries);
+            vmm_, config.seed ^ 0x05ead0u, config.metadataCacheEntries,
+            config.effectiveMetadataShards());
         engine_->setCleanOptimization(config.cleanOptimization);
         engine_->setVictimCacheCapacity(config.victimCacheEntries);
         engine_->setAuditLogCapacity(config.auditLogEntries);

@@ -83,11 +83,43 @@ struct SystemConfig
     std::size_t cryptoWorkers = 0;
 
     /**
+     * Simulated vCPUs the guest scheduler dispatches across (SMP).
+     * 0 and 1 both run the exact legacy single-core path. Dispatch
+     * order is vCPU-count invariant (one ready queue, op-count
+     * preemption), so guest-visible results and attack-campaign
+     * verdicts are identical at any count; cycle totals vary because
+     * each core warms a private TLB.
+     */
+    std::size_t vcpus = 0;
+
+    /**
+     * Lock stripes for the metadata store and key manager (per-ASID
+     * sharding). 0 = one stripe per vCPU; 1 = the exact legacy
+     * single-map layout. Purely a concurrency-structure knob: ids,
+     * cycles and cache behavior are identical for every value.
+     */
+    std::size_t metadataShards = 0;
+
+    /**
      * Seed for hostile-kernel attack injection (src/attack campaigns).
      * 0 derives a distinct stream from the system seed, so the attack
      * schedule never aliases workload randomness.
      */
     std::uint64_t attackSeed = 0;
+
+    /** vCPU count actually simulated (resolves the 0 default). */
+    std::size_t
+    effectiveVcpus() const
+    {
+        return vcpus != 0 ? vcpus : 1;
+    }
+
+    /** Metadata/key shard count actually used (0 follows the vCPUs). */
+    std::size_t
+    effectiveMetadataShards() const
+    {
+        return metadataShards != 0 ? metadataShards : effectiveVcpus();
+    }
 
     /** The attack-injection seed actually used (resolves the 0 case). */
     std::uint64_t
@@ -152,6 +184,16 @@ class SystemConfig::Builder
     Builder& cryptoWorkers(std::size_t n)
     {
         cfg_.cryptoWorkers = n;
+        return *this;
+    }
+    Builder& vcpus(std::size_t n)
+    {
+        cfg_.vcpus = n;
+        return *this;
+    }
+    Builder& metadataShards(std::size_t n)
+    {
+        cfg_.metadataShards = n;
         return *this;
     }
     Builder& attackSeed(std::uint64_t s)

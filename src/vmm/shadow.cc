@@ -28,8 +28,12 @@ ShadowManager::install(const Context& ctx, GuestVA va_page,
     osh_assert(pageOffset(va_page) == 0, "shadow entries are page keyed");
     PageMap& pm = shadows_[ctx];
     auto old = pm.find(va_page);
-    if (old != pm.end())
+    if (old != pm.end()) {
         dropFromReverse(old->second.entry.mpa, ctx, va_page);
+    } else {
+        ++liveSlots_;
+        peakSlots_ = std::max(peakSlots_, liveSlots_);
+    }
     pm[va_page] = Slot{entry, false};
     reverse_[entry.mpa].push_back({ctx, va_page});
     stats_.counter("installs").inc();
@@ -84,6 +88,7 @@ ShadowManager::invalidateVa(Asid asid, GuestVA va_page)
         if (eit != pm.end()) {
             dropFromReverse(eit->second.entry.mpa, ctx, va_page);
             pm.erase(eit);
+            --liveSlots_;
             stats_.counter("va_invalidations").inc();
             OSH_TRACE_COUNT(tracer_, trace::Category::Shadow,
                             "va_invalidations");
@@ -94,12 +99,19 @@ ShadowManager::invalidateVa(Asid asid, GuestVA va_page)
 void
 ShadowManager::invalidateAsid(Asid asid)
 {
-    for (auto& [ctx, pm] : shadows_) {
-        if (ctx.asid != asid)
+    // Erase the per-context tables outright (not just their entries):
+    // a torn-down address space must not leave an empty table behind,
+    // or a long-lived VMM hosting tens of thousands of processes scans
+    // ever more dead contexts on every targeted invalidation.
+    for (auto it = shadows_.begin(); it != shadows_.end();) {
+        if (it->first.asid != asid) {
+            ++it;
             continue;
-        for (auto& [va, slot] : pm)
-            dropFromReverse(slot.entry.mpa, ctx, va);
-        pm.clear();
+        }
+        for (auto& [va, slot] : it->second)
+            dropFromReverse(slot.entry.mpa, it->first, va);
+        liveSlots_ -= it->second.size();
+        it = shadows_.erase(it);
     }
     stats_.counter("asid_invalidations").inc();
     OSH_TRACE_COUNT(tracer_, trace::Category::Shadow,
@@ -119,7 +131,7 @@ ShadowManager::invalidateMpa(Mpa frame_base)
         auto sit = shadows_.find(m.ctx);
         if (sit == shadows_.end())
             continue;
-        sit->second.erase(m.vaPage);
+        liveSlots_ -= sit->second.erase(m.vaPage);
     }
     stats_.counter("mpa_invalidations").inc();
     OSH_TRACE_COUNT(tracer_, trace::Category::Shadow,
@@ -149,6 +161,7 @@ ShadowManager::invalidateAll()
 {
     shadows_.clear();
     reverse_.clear();
+    liveSlots_ = 0;
     stats_.counter("full_invalidations").inc();
     OSH_TRACE_COUNT(tracer_, trace::Category::Shadow,
                     "full_invalidations");

@@ -103,6 +103,16 @@ class ShadowManager
     /** Active entries belonging to one address space (tests). */
     std::size_t entryCount(Asid asid) const;
 
+    /** Resident slots right now, active + suspended (O(1)). */
+    std::size_t slotCount() const { return liveSlots_; }
+
+    /**
+     * High-water mark of resident slots over the manager's lifetime —
+     * the shadow-page-table memory a real VMM would have had to hold.
+     * The scale bench charts this against tenant count.
+     */
+    std::size_t peakSlotCount() const { return peakSlots_; }
+
     /** Attach the machine tracer (the owning Vmm wires this). */
     void setTracer(trace::Tracer* tracer) { tracer_ = tracer; }
 
@@ -131,6 +141,9 @@ class ShadowManager
     /** Reverse index: machine frame -> all slots (active or suspended)
      *  mapping it. */
     std::unordered_map<Mpa, std::vector<Mapping>> reverse_;
+    /** Resident slot count and its lifetime high-water mark. */
+    std::size_t liveSlots_ = 0;
+    std::size_t peakSlots_ = 0;
     StatGroup stats_;
     trace::Tracer* tracer_ = nullptr;
 };

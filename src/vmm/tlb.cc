@@ -3,7 +3,8 @@
 namespace osh::vmm
 {
 
-Tlb::Tlb(std::size_t capacity) : capacity_(capacity), stats_("tlb")
+Tlb::Tlb(std::size_t capacity, const char* name)
+    : capacity_(capacity), stats_(name)
 {
     osh_assert(capacity > 0, "TLB needs capacity");
 }

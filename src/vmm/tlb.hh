@@ -28,7 +28,12 @@ namespace osh::vmm
 class Tlb
 {
   public:
-    explicit Tlb(std::size_t capacity = 256);
+    /**
+     * @param capacity Entries the cache holds.
+     * @param name Stat-group name; per-vCPU instances get distinct
+     *   names ("tlb", "tlb1", ...) so their counters stay separable.
+     */
+    explicit Tlb(std::size_t capacity = 256, const char* name = "tlb");
 
     std::optional<ShadowEntry> lookup(const Context& ctx, GuestVA va_page);
 

@@ -40,7 +40,7 @@ Vcpu::translatePage(GuestVA va_page, AccessType access)
     va_page = pageBase(va_page);
     auto& cost = vmm_.machine().cost();
 
-    if (auto hit = vmm_.tlb().lookup(ctx_, va_page)) {
+    if (auto hit = vmm_.tlb(cpu_).lookup(ctx_, va_page)) {
         bool ok = (access == AccessType::Write) ? hit->canWrite
                                                 : hit->canRead;
         if (ok)
@@ -55,7 +55,7 @@ Vcpu::translatePage(GuestVA va_page, AccessType access)
                                                 : sh->canRead;
         if (ok) {
             cost.charge(cost.params().tlbMissWalk, "tlb_fill");
-            vmm_.tlb().insert(ctx_, va_page, *sh);
+            vmm_.tlb(cpu_).insert(ctx_, va_page, *sh);
             return *sh;
         }
     }

@@ -39,6 +39,14 @@ class Vcpu
     const Context& context() const { return ctx_; }
     RegisterFile& regs() { return regs_; }
 
+    /**
+     * The physical-core slot this vCPU currently runs on. The guest
+     * scheduler assigns it at dispatch; translations hit the slot's
+     * private TLB. Always 0 in single-core runs.
+     */
+    std::uint32_t cpu() const { return cpu_; }
+    void setCpu(std::uint32_t cpu) { cpu_ = cpu; }
+
     /** Fixed-width guest memory accesses (any alignment). */
     std::uint8_t load8(GuestVA va);
     std::uint16_t load16(GuestVA va);
@@ -87,6 +95,7 @@ class Vcpu
     Vmm& vmm_;
     Context ctx_;
     RegisterFile regs_;
+    std::uint32_t cpu_ = 0;
 
     std::function<void()> preemptHook_;
     std::uint64_t opsPerTick_ = 0;

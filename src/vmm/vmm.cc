@@ -3,6 +3,8 @@
 #include "base/logging.hh"
 #include "vmm/vcpu.hh"
 
+#include <string>
+
 namespace osh::vmm
 {
 
@@ -61,6 +63,21 @@ Vmm::Vmm(sim::Machine& machine, std::uint64_t guest_frames)
       cloak_(passthrough_.get()), stats_("vmm")
 {
     shadows_.setTracer(&machine_.tracer());
+    tlbs_.push_back(std::make_unique<Tlb>());
+}
+
+void
+Vmm::setVcpuCount(std::size_t count)
+{
+    osh_assert(count > 0, "Vmm needs at least one vCPU");
+    if (count == tlbs_.size())
+        return;
+    tlbs_.clear();
+    tlbs_.push_back(std::make_unique<Tlb>()); // slot 0: legacy "tlb".
+    for (std::size_t i = 1; i < count; ++i) {
+        std::string name = "tlb" + std::to_string(i);
+        tlbs_.push_back(std::make_unique<Tlb>(256, name.c_str()));
+    }
 }
 
 void
@@ -69,7 +86,8 @@ Vmm::setCloakBackend(CloakBackend* backend)
     cloak_ = backend ? backend : passthrough_.get();
     // Views may now resolve differently; drop all cached translations.
     shadows_.invalidateAll();
-    tlb_.flushAll();
+    for (auto& t : tlbs_)
+        t->flushAll();
 }
 
 void
@@ -147,7 +165,7 @@ Vmm::resolve(Vcpu& vcpu, const Context& ctx, GuestVA va_page,
             shadows_.install(ctx, va_page, entry);
             machine_.cost().charge(costs.shadowFill, "shadow_fill");
         }
-        tlb_.insert(ctx, va_page, entry);
+        tlb(vcpu.cpu()).insert(ctx, va_page, entry);
         machine_.cost().charge(costs.vmResume);
         return entry;
     }
@@ -159,16 +177,28 @@ void
 Vmm::invalidateVa(Asid asid, GuestVA va_page)
 {
     shadows_.invalidateVa(asid, pageBase(va_page));
-    tlb_.invalidateVa(asid, pageBase(va_page));
+    for (auto& t : tlbs_)
+        t->invalidateVa(asid, pageBase(va_page));
     // Trapped INVLPG costs a world switch.
     chargeWorldSwitch("invlpg");
+}
+
+void
+Vmm::shootdownVa(Asid asid, GuestVA va_page)
+{
+    // Cross-core shootdown driven by the cloak layer: drop the VA from
+    // every core's TLB. The caller already charged the world switch
+    // covering the whole batch, so no cost is added per page.
+    for (auto& t : tlbs_)
+        t->invalidateVa(asid, pageBase(va_page));
 }
 
 void
 Vmm::invalidateAsid(Asid asid)
 {
     shadows_.invalidateAsid(asid);
-    tlb_.invalidateAsid(asid);
+    for (auto& t : tlbs_)
+        t->invalidateAsid(asid);
     chargeWorldSwitch("asid_flush");
 }
 
@@ -176,7 +206,8 @@ void
 Vmm::invalidateMpa(Mpa frame_base)
 {
     shadows_.invalidateMpa(pageBase(frame_base));
-    tlb_.invalidateMpa(pageBase(frame_base));
+    for (auto& t : tlbs_)
+        t->invalidateMpa(pageBase(frame_base));
     machine_.cost().charge(machine_.cost().params().tlbFlush,
                            "mpa_invalidate");
 }
@@ -190,8 +221,9 @@ Vmm::suspendMpa(Mpa frame_base)
     }
     shadows_.suspendMpa(pageBase(frame_base));
     // Hardware TLBs have no suspended state: entries granting access to
-    // the old view must be shot down either way.
-    tlb_.invalidateMpa(pageBase(frame_base));
+    // the old view must be shot down either way — on every core.
+    for (auto& t : tlbs_)
+        t->invalidateMpa(pageBase(frame_base));
     machine_.cost().charge(machine_.cost().params().tlbFlush,
                            "mpa_suspend");
 }
@@ -206,10 +238,21 @@ Vmm::onContextSwitch()
     // Untagged shadow cache: a CR3 write wipes everything, and every
     // resumed process rebuilds its shadows one hidden fault at a time.
     shadows_.invalidateAll();
-    tlb_.flushAll();
+    for (auto& t : tlbs_)
+        t->flushAll();
     machine_.cost().charge(machine_.cost().params().tlbFlush,
                            "switch_flush");
     stats_.counter("switch_flushes").inc();
+}
+
+void
+Vmm::onContextSwitch(std::uint32_t cpu)
+{
+    onContextSwitch();
+    // Per-slot switch counts exist only in genuine SMP runs: adding
+    // them at one vCPU would grow the stat set the baselines pin down.
+    if (tlbs_.size() > 1)
+        stats_.counter("switches_cpu" + std::to_string(cpu)).inc();
 }
 
 std::int64_t

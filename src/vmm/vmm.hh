@@ -26,6 +26,7 @@
 #include "vmm/tlb.hh"
 
 #include <memory>
+#include <vector>
 
 namespace osh::vmm
 {
@@ -49,8 +50,24 @@ class Vmm
     sim::Machine& machine() { return machine_; }
     Pmap& pmap() { return pmap_; }
     ShadowManager& shadows() { return shadows_; }
-    Tlb& tlb() { return tlb_; }
+    /** vCPU 0's TLB (the legacy single-core accessor). */
+    Tlb& tlb() { return *tlbs_[0]; }
+    /** The TLB of one vCPU slot (out-of-range clamps to slot 0). */
+    Tlb&
+    tlb(std::uint32_t cpu)
+    {
+        return *tlbs_[cpu < tlbs_.size() ? cpu : 0];
+    }
     CloakBackend& cloakBackend() { return *cloak_; }
+
+    /**
+     * Size the per-vCPU TLB array (SMP). Must be called before any
+     * translation; existing cached state is flushed. Each slot models
+     * one core's private TLB — shadow page tables stay shared (they
+     * model VMM-side structures, not per-core hardware).
+     */
+    void setVcpuCount(std::size_t count);
+    std::size_t vcpuCount() const { return tlbs_.size(); }
 
     /**
      * Full shadow resolution for one page. Charges a VM exit, consults
@@ -86,13 +103,24 @@ class Vmm
     void suspendMpa(Mpa frame_base);
 
     /**
+     * Cloak-layer shootdown of one VA across *every* vCPU's TLB, with
+     * no additional cost charge (the caller has already paid for the
+     * triggering world switch). Used when a cloaked region's pages are
+     * registered or retyped: any core could hold a stale translation.
+     */
+    void shootdownVa(Asid asid, GuestVA va_page);
+
+    /**
      * A guest context switch happened (CR3 write / world switch). With
      * ASID-tagged retention (the default) shadows and TLB entries stay
      * live — resuming a process costs nothing here. With retention
      * disabled, every cached translation is flushed, modelling a VMM
-     * whose shadow cache is not tagged by address space.
+     * whose shadow cache is not tagged by address space. The @p cpu
+     * overload records per-slot switch counts when more than one vCPU
+     * is configured (single-core runs keep the legacy stat set).
      */
     void onContextSwitch();
+    void onContextSwitch(std::uint32_t cpu);
 
     /** Enable/disable ASID-tagged shadow retention (ablation knob). */
     void setShadowRetention(bool on) { shadowRetention_ = on; }
@@ -123,7 +151,9 @@ class Vmm
     sim::Machine& machine_;
     Pmap pmap_;
     ShadowManager shadows_;
-    Tlb tlb_;
+    /** One private TLB per vCPU slot; slot 0 keeps the legacy "tlb"
+     *  stat name so single-core baselines are unchanged. */
+    std::vector<std::unique_ptr<Tlb>> tlbs_;
     std::unique_ptr<CloakBackend> passthrough_;
     CloakBackend* cloak_;
     GuestOsHooks* os_ = nullptr;

@@ -912,7 +912,62 @@ wlVictimPaging(Env& env)
     return writeResult(env, "wl.victim.paging", h);
 }
 
+// ---------------------------------------------------------------------------
+// Scale-bench tenant (bench_scale)
+// ---------------------------------------------------------------------------
+//
+// One small cloaked tenant: a couple of private pages, seeded stores, a
+// strided hash, exit status derived from the hash. Argv[0] is the tenant
+// index so every tenant computes a distinct (but host-predictable)
+// result; tenantStatus() mirrors the computation without a guest. No
+// /results file is written — ten thousand of these must not grow the
+// guest filesystem.
+
+std::uint64_t
+tenantHash(std::uint64_t system_seed, std::uint64_t tenant_idx,
+           std::uint64_t pages)
+{
+    std::uint64_t s = system_seed ^
+                      (tenant_idx * 0x9e3779b97f4a7c15ull) ^ 0x7e4a47ull;
+    std::uint64_t words = pages * (pageSize / 8);
+    std::uint64_t h = fnvOffset;
+    std::uint64_t stream = s;
+    // The strided hash reads every 7th stored word; replay the store
+    // stream and fold in the same positions.
+    for (std::uint64_t i = 0; i < words; ++i) {
+        std::uint64_t v = splitmix(stream);
+        if (i % 7 == 0)
+            fnvMix(h, v);
+    }
+    return h;
+}
+
+int
+wlTenant(Env& env)
+{
+    std::uint64_t idx = argAt(env, 0, 0);
+    std::uint64_t pages = argAt(env, 1, 2);
+    GuestVA buf = env.allocPages(pages);
+    std::uint64_t s = workloadSeed(env) ^
+                      (idx * 0x9e3779b97f4a7c15ull) ^ 0x7e4a47ull;
+    std::uint64_t words = pages * (pageSize / 8);
+    for (std::uint64_t i = 0; i < words; ++i)
+        env.store64(buf + i * 8, splitmix(s));
+    std::uint64_t h = fnvOffset;
+    for (std::uint64_t i = 0; i < words; i += 7)
+        fnvMix(h, env.load64(buf + i * 8));
+    return static_cast<int>(h & 0x3f);
+}
+
 } // namespace
+
+int
+tenantStatus(std::uint64_t system_seed, std::uint64_t tenant_idx,
+             std::uint64_t pages)
+{
+    return static_cast<int>(tenantHash(system_seed, tenant_idx, pages) &
+                            0x3f);
+}
 
 const std::vector<std::string>&
 victimNames()
@@ -964,6 +1019,7 @@ registerAll(system::System& sys)
     add("wl.compile", wlCompile);
     add("wl.build", wlBuild);
     add("wl.memstress", wlMemstress);
+    add("wl.tenant", wlTenant);
     add("wl.victim.compute", wlVictimCompute);
     add("wl.victim.fork", wlVictimFork);
     add("wl.victim.fileio", wlVictimFileio);

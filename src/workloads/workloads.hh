@@ -38,6 +38,15 @@ const std::vector<std::string>& computeKernelNames();
 /** Register every workload program on a system. */
 void registerAll(system::System& sys);
 
+/**
+ * Expected exit status of `wl.tenant <idx> <pages>` on a system seeded
+ * @p system_seed — a pure host-side mirror of the tenant's computation,
+ * so the scale bench and the SMP tests can verify ten thousand cloaked
+ * tenants without reading guest files.
+ */
+int tenantStatus(std::uint64_t system_seed, std::uint64_t tenant_idx,
+                 std::uint64_t pages = 2);
+
 // Attack-campaign victims --------------------------------------------------
 //
 // wl.victim.{compute,fork,fileio,paging} plant a plaintext sentinel in

@@ -119,7 +119,7 @@ struct Harness
     Resource&
     res()
     {
-        Resource* r = engine.metadata().find(resource);
+        Resource* r = engine.metadata().lookup(resource).valueOr(nullptr);
         EXPECT_NE(r, nullptr);
         return *r;
     }

@@ -39,10 +39,13 @@ TEST_F(MetadataTest, ResourceLifecycle)
     Resource& r = store_.createResource(3);
     EXPECT_EQ(r.domain, 3u);
     EXPECT_EQ(r.keyId, r.id);
-    EXPECT_NE(store_.find(r.id), nullptr);
+    EXPECT_TRUE(store_.lookup(r.id).ok());
+    EXPECT_EQ(store_.lookup(r.id).value(), &r);
     ResourceId id = r.id;
     store_.destroyResource(id);
-    EXPECT_EQ(store_.find(id), nullptr);
+    auto gone = store_.lookup(id);
+    ASSERT_FALSE(gone.ok());
+    EXPECT_EQ(gone.error(), CloakError::UnknownResource);
 }
 
 TEST_F(MetadataTest, PageMetaDefaults)
@@ -171,7 +174,7 @@ TEST_F(SealTest, SealUnsealRoundTrip)
     auto bundle = store_.seal(src, key_, owner_);
 
     Resource& dst = store_.createResource(2, true, 77);
-    ASSERT_TRUE(store_.unseal(bundle, key_, owner_, dst));
+    ASSERT_TRUE(store_.unseal(bundle, key_, owner_, dst).ok());
     EXPECT_EQ(dst.pages.size(), 2u);
     EXPECT_EQ(dst.pages.at(0).version, 2u);
     EXPECT_EQ(dst.pages.at(0).iv[3], 9);
@@ -188,14 +191,20 @@ TEST_F(SealTest, TamperedBundleRejected)
     for (std::size_t pos : {0u, 20u, 60u}) {
         auto bad = bundle;
         bad[pos % bad.size()] ^= 1;
-        EXPECT_FALSE(store_.unseal(bad, key_, owner_, dst));
+        auto r = store_.unseal(bad, key_, owner_, dst);
+        ASSERT_FALSE(r.ok());
+        EXPECT_EQ(r.error(), CloakError::SealBadMac);
     }
-    // MAC truncation.
+    // MAC truncation: the (shorter) body no longer matches the MAC.
     auto shorter = bundle;
     shorter.pop_back();
-    EXPECT_FALSE(store_.unseal(shorter, key_, owner_, dst));
-    // Empty bundle.
-    EXPECT_FALSE(store_.unseal({}, key_, owner_, dst));
+    auto trunc = store_.unseal(shorter, key_, owner_, dst);
+    ASSERT_FALSE(trunc.ok());
+    EXPECT_EQ(trunc.error(), CloakError::SealBadMac);
+    // Empty bundle: structurally invalid before any MAC exists.
+    auto empty = store_.unseal({}, key_, owner_, dst);
+    ASSERT_FALSE(empty.ok());
+    EXPECT_EQ(empty.error(), CloakError::SealMalformed);
 }
 
 TEST_F(SealTest, WrongKeyRejected)
@@ -205,7 +214,9 @@ TEST_F(SealTest, WrongKeyRejected)
     crypto::Digest other_key = key_;
     other_key[0] ^= 1;
     Resource& dst = store_.createResource(2, true, 77);
-    EXPECT_FALSE(store_.unseal(bundle, other_key, owner_, dst));
+    auto r = store_.unseal(bundle, other_key, owner_, dst);
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.error(), CloakError::SealBadMac);
 }
 
 TEST_F(SealTest, WrongIdentityRejected)
@@ -213,7 +224,9 @@ TEST_F(SealTest, WrongIdentityRejected)
     Resource& src = makeFileResource();
     auto bundle = store_.seal(src, key_, owner_);
     Resource& dst = store_.createResource(2, true, 77);
-    EXPECT_FALSE(store_.unseal(bundle, key_, ident("prog-b"), dst));
+    auto r = store_.unseal(bundle, key_, ident("prog-b"), dst);
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.error(), CloakError::SealBadIdentity);
 }
 
 TEST_F(SealTest, RollbackRejected)
@@ -224,9 +237,11 @@ TEST_F(SealTest, RollbackRejected)
 
     Resource& dst = store_.createResource(2, true, 77);
     // The newest bundle imports fine.
-    EXPECT_TRUE(store_.unseal(v2, key_, owner_, dst));
-    // Replaying the older bundle is refused.
-    EXPECT_FALSE(store_.unseal(v1, key_, owner_, dst));
+    EXPECT_TRUE(store_.unseal(v2, key_, owner_, dst).ok());
+    // Replaying the older bundle is refused with the typed cause.
+    auto r = store_.unseal(v1, key_, owner_, dst);
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.error(), CloakError::SealRollback);
     EXPECT_EQ(store_.stats().value("unseal_rollback"), 1u);
     EXPECT_EQ(store_.lastSealedVersion(77), 2u);
 }
@@ -244,16 +259,16 @@ TEST_F(SealTest, UnsealAdvancesRollbackFloor)
     sim::CostModel cost2;
     MetadataStore store2(cost2, 4);
     Resource& dst = store2.createResource(2, true, 77);
-    ASSERT_TRUE(store2.unseal(v2, key_, owner_, dst));
+    ASSERT_TRUE(store2.unseal(v2, key_, owner_, dst).ok());
     EXPECT_EQ(store2.lastSealedVersion(77), 2u);
 
     Resource& dst2 = store2.createResource(3, true, 77);
-    EXPECT_FALSE(store2.unseal(v1, key_, owner_, dst2));
+    EXPECT_FALSE(store2.unseal(v1, key_, owner_, dst2).ok());
     EXPECT_EQ(store2.stats().value("unseal_rollback"), 1u);
 
     // Re-importing the same (newest) version stays legal.
     Resource& dst3 = store2.createResource(4, true, 77);
-    EXPECT_TRUE(store2.unseal(v2, key_, owner_, dst3));
+    EXPECT_TRUE(store2.unseal(v2, key_, owner_, dst3).ok());
 }
 
 TEST_F(SealTest, SealAfterUnsealContinuesVersionChain)
@@ -266,13 +281,13 @@ TEST_F(SealTest, SealAfterUnsealContinuesVersionChain)
     sim::CostModel cost2;
     MetadataStore store2(cost2, 4);
     Resource& dst = store2.createResource(2, true, 77);
-    ASSERT_TRUE(store2.unseal(v1, key_, owner_, dst));
+    ASSERT_TRUE(store2.unseal(v1, key_, owner_, dst).ok());
     store2.seal(dst, key_, owner_);
     EXPECT_EQ(store2.lastSealedVersion(77), 2u);
 
     // The original v1 bundle is now stale for store2.
     Resource& dst2 = store2.createResource(3, true, 77);
-    EXPECT_FALSE(store2.unseal(v1, key_, owner_, dst2));
+    EXPECT_FALSE(store2.unseal(v1, key_, owner_, dst2).ok());
 }
 
 TEST_F(SealTest, DistinctFileKeysVersionIndependently)
@@ -285,7 +300,7 @@ TEST_F(SealTest, DistinctFileKeysVersionIndependently)
     // b's first seal is version 1 for key 200 and imports fine even
     // though key 100 is at version 2.
     Resource& dst = store_.createResource(2, true, 200);
-    EXPECT_TRUE(store_.unseal(bundle_b, key_, owner_, dst));
+    EXPECT_TRUE(store_.unseal(bundle_b, key_, owner_, dst).ok());
 }
 
 TEST_F(SealTest, SplicedPageCountRejected)
@@ -296,7 +311,7 @@ TEST_F(SealTest, SplicedPageCountRejected)
     auto bad = bundle;
     bad.erase(bad.begin() + 60, bad.begin() + 60 + 65);
     Resource& dst = store_.createResource(2, true, 77);
-    EXPECT_FALSE(store_.unseal(bad, key_, owner_, dst));
+    EXPECT_FALSE(store_.unseal(bad, key_, owner_, dst).ok());
 }
 
 // ---------------------------------------------------------------------------
@@ -345,7 +360,7 @@ TEST_F(SealTest, UnsealPurgesStaleCachedKeys)
     store_.page(dst, 0); // Pre-unseal metadata occupies the cache.
     store_.page(dst, 9);
     ASSERT_TRUE(store_.cached(dst.id, 9));
-    ASSERT_TRUE(store_.unseal(bundle, key_, owner_, dst));
+    ASSERT_TRUE(store_.unseal(bundle, key_, owner_, dst).ok());
     // The reload dropped every page; its cache keys must go with it
     // (page 9 is not even in the bundle).
     EXPECT_FALSE(store_.cached(dst.id, 0));

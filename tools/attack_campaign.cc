@@ -9,7 +9,7 @@
  *
  * Usage:
  *   attack_campaign [--seeds=1,2,3] [--points=a,b] [--workloads=x,y]
- *                   [--out=FILE] [--expect=FILE] [--quiet]
+ *                   [--vcpus=N] [--out=FILE] [--expect=FILE] [--quiet]
  *
  * Exit codes:
  *   0  campaign clean (no LEAK, no CRASH, expectation matched if given)
@@ -62,8 +62,8 @@ usage(const std::string& bad)
 {
     std::cerr << "attack_campaign: bad argument: " << bad << "\n"
               << "usage: attack_campaign [--seeds=1,2,3] "
-                 "[--points=a,b] [--workloads=x,y] [--out=FILE] "
-                 "[--expect=FILE] [--quiet]\n"
+                 "[--points=a,b] [--workloads=x,y] [--vcpus=N] "
+                 "[--out=FILE] [--expect=FILE] [--quiet]\n"
               << "points:";
     for (AttackPoint p : osh::attack::allAttackPoints())
         std::cerr << " " << osh::attack::attackPointName(p);
@@ -105,6 +105,14 @@ main(int argc, char** argv)
             }
         } else if (arg.rfind("--workloads=", 0) == 0) {
             config.workloads = splitCommas(value("--workloads="));
+        } else if (arg.rfind("--vcpus=", 0) == 0) {
+            // Verdicts are vCPU-count invariant; this exercises the
+            // SMP world-switch paths against the same expectations.
+            try {
+                config.vcpus = std::stoull(value("--vcpus="));
+            } catch (const std::exception&) {
+                return usage(arg);
+            }
         } else if (arg.rfind("--out=", 0) == 0) {
             out_path = value("--out=");
         } else if (arg.rfind("--expect=", 0) == 0) {
