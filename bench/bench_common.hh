@@ -74,6 +74,8 @@ struct BenchOptions
     /** Shadow-resolution fast path (ablation: off = flush-everything
      *  VMM and no re-encryption victim cache). */
     bool fastPath = true;
+    /** Async eviction queue depth (0 = synchronous legacy path). */
+    std::size_t asyncEvictDepth = 0;
 };
 
 /** Build a system with workloads registered. */
@@ -91,6 +93,7 @@ makeSystem(const BenchOptions& opt)
                    .victimCacheEntries(
                        opt.fastPath ? system::SystemConfig{}.victimCacheEntries
                                     : 0)
+                   .asyncEvictDepth(opt.cloaked ? opt.asyncEvictDepth : 0)
                    .trace(tc)
                    .build();
     auto sys = std::make_unique<system::System>(cfg);

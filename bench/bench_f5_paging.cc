@@ -7,9 +7,65 @@
  * memory in and out. Every page-out forces an encryption and every
  * page-in a decryption+verification, so Overshadow's overhead grows
  * with paging traffic while the native baseline pays only disk costs.
+ *
+ * On top of the paper's series this bench runs the same cloaked sweep
+ * with the asynchronous eviction pipeline at depth 4 (async4): the
+ * seal + swap-slot write ride the background lane and the kernel pays
+ * only the enqueue cost, so the cloaked/native ratio collapses toward
+ * the stall-bounded floor. All three series land in BENCH_f5.json for
+ * the perf-regression harness (bench/compare.py).
  */
 
 #include "bench_common.hh"
+
+namespace
+{
+
+/** One memstress run; returns (total cycles, swap-ins). */
+struct RunResult
+{
+    osh::Cycles cycles = 0;
+    std::uint64_t swapIns = 0;
+};
+
+RunResult
+runOne(osh::bench::BenchReport& report, std::uint64_t frames,
+       bool cloaked, std::size_t async_depth, const char* tag)
+{
+    using namespace osh;
+    const std::vector<std::string> argv = {"256", "3", "1"};
+    bench::BenchOptions opt;
+    opt.cloaked = cloaked;
+    opt.frames = frames;
+    opt.asyncEvictDepth = async_depth;
+    auto sys = bench::makeSystem(opt);
+    auto r = sys->runProgram("wl.memstress", argv);
+    if (r.status != 0)
+        osh_fatal("memstress failed: %s", r.killReason.c_str());
+
+    RunResult res;
+    res.cycles = sys->cycles();
+    res.swapIns = sys->kernel().stats().value("swap_ins");
+
+    std::string prefix =
+        "frames_" + std::to_string(frames) + "." + tag;
+    report.set(prefix + ".cycles", res.cycles);
+    report.set(prefix + ".swap_ins", res.swapIns);
+    if (cloaked && async_depth > 0) {
+        const StatGroup& cs = sys->cloak()->stats();
+        report.set(prefix + ".async_evictions",
+                   cs.value("async_evictions"));
+        report.set(prefix + ".async_evict_commits",
+                   cs.value("async_evict_commits"));
+        report.set(prefix + ".async_evict_stalls",
+                   cs.value("async_evict_stalls"));
+    }
+    bench::reportPhase(*sys, "f5_" + std::string(tag) + "_" +
+                                 std::to_string(frames));
+    return res;
+}
+
+} // namespace
 
 int
 main()
@@ -18,38 +74,34 @@ main()
     bench::header("Figure F5: paging pressure (working set 256 pages, "
                   "3 passes)");
 
-    const std::vector<std::string> argv = {"256", "3", "1"};
-    std::printf("%-14s %14s %10s %14s %10s %8s\n", "guest frames",
-                "native(cyc)", "swaps", "cloaked(cyc)", "swaps",
-                "ratio");
+    bench::BenchReport report("f5");
+    std::printf("%-12s %14s %8s %14s %8s %7s %14s %8s %7s\n",
+                "guest frames", "native(cyc)", "swaps", "cloaked(cyc)",
+                "swaps", "ratio", "async4(cyc)", "swaps", "ratio");
     for (std::uint64_t frames : {384u, 272u, 256u, 240u, 224u, 208u}) {
-        auto nat = bench::makeSystem(false, frames);
-        auto nr = nat->runProgram("wl.memstress", argv);
-        if (nr.status != 0)
-            osh_fatal("memstress failed: %s", nr.killReason.c_str());
-        Cycles n = nat->cycles();
-        std::uint64_t nswaps = nat->kernel().stats().value("swap_ins");
-        bench::reportPhase(*nat,
-                           "f5_native_" + std::to_string(frames));
+        RunResult nat = runOne(report, frames, false, 0, "native");
+        RunResult sync = runOne(report, frames, true, 0, "cloaked");
+        RunResult async4 = runOne(report, frames, true, 4, "async4");
 
-        auto sys = bench::makeSystem(true, frames);
-        auto r = sys->runProgram("wl.memstress", argv);
-        if (r.status != 0)
-            osh_fatal("memstress failed: %s", r.killReason.c_str());
-        Cycles c = sys->cycles();
-        std::uint64_t swaps = sys->kernel().stats().value("swap_ins");
-        bench::reportPhase(*sys,
-                           "f5_cloaked_" + std::to_string(frames));
-
-        std::printf("%-14llu %14llu %10llu %14llu %10llu %7.2fx\n",
-                    static_cast<unsigned long long>(frames),
-                    static_cast<unsigned long long>(n),
-                    static_cast<unsigned long long>(nswaps),
-                    static_cast<unsigned long long>(c),
-                    static_cast<unsigned long long>(swaps),
-                    static_cast<double>(c) / static_cast<double>(n));
+        std::printf(
+            "%-12llu %14llu %8llu %14llu %8llu %6.2fx %14llu %8llu "
+            "%6.2fx\n",
+            static_cast<unsigned long long>(frames),
+            static_cast<unsigned long long>(nat.cycles),
+            static_cast<unsigned long long>(nat.swapIns),
+            static_cast<unsigned long long>(sync.cycles),
+            static_cast<unsigned long long>(sync.swapIns),
+            static_cast<double>(sync.cycles) /
+                static_cast<double>(nat.cycles),
+            static_cast<unsigned long long>(async4.cycles),
+            static_cast<unsigned long long>(async4.swapIns),
+            static_cast<double>(async4.cycles) /
+                static_cast<double>(nat.cycles));
     }
     std::printf("\n(paper shape: overhead grows as the resident "
-                "fraction shrinks — every swap adds crypto)\n");
+                "fraction shrinks — every swap adds crypto; the async4 "
+                "series defers the seal + swap write off the critical "
+                "path)\n");
+    report.write();
     return 0;
 }

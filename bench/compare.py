@@ -19,10 +19,14 @@ even with --all — and never produce missing/new warnings or a nonzero
 exit (baselines may omit them entirely; a key present in only one run
 shows "—" in the other column).
 
-Keys present in only one file are reported as warnings, never errors:
-adding a metric must not break CI, and a renamed metric shows up as
-one "missing" plus one "new" line, which is the reviewer's cue to
-refresh the baseline.
+Key-set drift is asymmetric. A key present only in the *current* run is
+a warning: adding a metric must not break CI. A baseline key *missing*
+from the current run is an error (exit 1): a dropped or renamed metric
+silently un-gates whatever it measured, so the baseline must be
+refreshed deliberately, in the same change that renames the metric.
+--allow-missing downgrades that error back to a warning, for runs
+that are partial on purpose (e.g. a --quick sweep compared against
+the full committed baseline).
 """
 
 import argparse
@@ -69,6 +73,13 @@ def main() -> int:
         "--all",
         action="store_true",
         help="gate every metric, not just cycle-like ones",
+    )
+    ap.add_argument(
+        "--allow-missing",
+        action="store_true",
+        help="downgrade baseline keys missing from the current run "
+        "from an error to a warning (for intentionally partial runs, "
+        "e.g. --quick sweeps against a full baseline)",
     )
     args = ap.parse_args()
 
@@ -136,8 +147,10 @@ def main() -> int:
     show(improvements, "improvements")
     show(drifts, "counter drift (informational)")
     show_host(host_rows)
+    missing_label = "warning" if args.allow_missing else "error"
     for key in missing:
-        print(f"warning: metric missing from current run: {key}")
+        print(f"{missing_label}: baseline metric missing from current "
+              f"run: {key}")
     for key in new:
         print(f"warning: new metric not in baseline: {key}")
 
@@ -150,6 +163,12 @@ def main() -> int:
         print(
             f"FAIL: {len(regressions)}/{n_checked} gated metrics "
             f"regressed beyond {args.tolerance:.0%}"
+        )
+        return 1
+    if missing and not args.allow_missing:
+        print(
+            f"FAIL: {len(missing)} baseline metrics missing from the "
+            f"current run (refresh the baseline if they were renamed)"
         )
         return 1
     print(

@@ -90,6 +90,12 @@ findSentinelLeak(system::System& sys, const AttackDirector& director,
             if (containsSentinel(bundle, pattern))
                 return "sealed bundle " + std::to_string(key);
         }
+        // In-flight async evictions: the staging buffers hold sealed
+        // ciphertext on its way to swap — never plaintext.
+        for (const auto& entry : engine->asyncPendingEntries()) {
+            if (containsSentinel(entry.sealed, pattern))
+                return "async eviction staging buffer";
+        }
     }
 
     for (const auto& peek : director.snoops())
@@ -212,7 +218,7 @@ namespace
 
 system::SystemConfig
 victimSystemConfig(std::uint64_t seed, const std::string& workload,
-                   std::size_t vcpus)
+                   std::size_t vcpus, std::size_t async_depth)
 {
     // The paging victim must thrash: give it fewer frames than its
     // arena so every page cycles through the (hostile) swap device.
@@ -222,6 +228,7 @@ victimSystemConfig(std::uint64_t seed, const std::string& workload,
         .guestFrames(paging ? 96 : 512)
         .cloaking(true)
         .vcpus(vcpus)
+        .asyncEvictDepth(async_depth)
         .build();
 }
 
@@ -242,14 +249,16 @@ victimSystemConfig(std::uint64_t seed, const std::string& workload,
  */
 CampaignCell
 runMigrationCell(std::uint64_t seed, AttackPoint point,
-                 const std::string& workload, std::size_t vcpus)
+                 const std::string& workload, std::size_t vcpus,
+                 std::size_t async_depth)
 {
     CampaignCell cell;
     cell.seed = seed;
     cell.point = point;
     cell.workload = workload;
 
-    system::SystemConfig cfg = victimSystemConfig(seed, workload, vcpus);
+    system::SystemConfig cfg =
+        victimSystemConfig(seed, workload, vcpus, async_depth);
     system::System src(cfg);
     workloads::registerAll(src);
     system::System dst(cfg);
@@ -453,17 +462,20 @@ runMigrationCell(std::uint64_t seed, AttackPoint point,
 
 CampaignCell
 runCell(std::uint64_t seed, AttackPoint point,
-        const std::string& workload, std::size_t vcpus)
+        const std::string& workload, std::size_t vcpus,
+        std::size_t async_depth)
 {
     if (isMigrationPoint(point))
-        return runMigrationCell(seed, point, workload, vcpus);
+        return runMigrationCell(seed, point, workload, vcpus,
+                                async_depth);
 
     CampaignCell cell;
     cell.seed = seed;
     cell.point = point;
     cell.workload = workload;
 
-    system::SystemConfig cfg = victimSystemConfig(seed, workload, vcpus);
+    system::SystemConfig cfg =
+        victimSystemConfig(seed, workload, vcpus, async_depth);
     system::System sys(cfg);
     workloads::registerAll(sys);
 
@@ -535,7 +547,8 @@ runCampaign(const CampaignConfig& config)
         for (AttackPoint point : points) {
             for (const std::string& wl : workloads) {
                 CampaignCell cell =
-                    runCell(seed, point, wl, config.vcpus);
+                    runCell(seed, point, wl, config.vcpus,
+                            config.asyncDepth);
                 report.metrics.counter(cat, "cells")++;
                 report.metrics.counter(cat, "firings") +=
                     cell.firings;

@@ -88,6 +88,16 @@ struct CampaignConfig
      */
     std::size_t vcpus = 0;
 
+    /**
+     * asyncEvictDepth for every victim System (0 = synchronous legacy
+     * eviction). Like vcpus, verdicts and the table() string are
+     * depth-invariant — the async pipeline defers only cycle charges,
+     * never bytes — so the committed expectation tables hold at any
+     * depth. The oracle additionally scans the engine's in-flight
+     * staging buffers.
+     */
+    std::size_t asyncDepth = 0;
+
     /** Throws std::invalid_argument on empty seeds or duplicates. */
     void validate() const;
 
@@ -117,10 +127,12 @@ struct CampaignReport
 };
 
 /** Run one cell: fresh System, director installed, victim run,
- *  oracle + classification. @p vcpus as in CampaignConfig. */
+ *  oracle + classification. @p vcpus and @p async_depth as in
+ *  CampaignConfig. */
 CampaignCell runCell(std::uint64_t seed, AttackPoint point,
                      const std::string& workload,
-                     std::size_t vcpus = 0);
+                     std::size_t vcpus = 0,
+                     std::size_t async_depth = 0);
 
 class AttackDirector;
 

@@ -17,6 +17,24 @@ namespace
 /** Key-space tag keeping file keys disjoint from private resource ids. */
 constexpr ResourceId fileKeyTag = ResourceId{1} << 63;
 
+/**
+ * Charge cycles to the guest timeline, or — when the asynchronous
+ * eviction lane owns the work — accumulate them into @p defer while
+ * still counting the event, so the event stream is identical in both
+ * modes.
+ */
+void
+chargeOrDefer(sim::CostModel& cost, Cycles c, const char* ev,
+              std::uint64_t* defer)
+{
+    if (defer != nullptr) {
+        *defer += c;
+        cost.charge(0, ev);
+    } else {
+        cost.charge(c, ev);
+    }
+}
+
 } // namespace
 
 crypto::Digest
@@ -39,6 +57,13 @@ CloakEngine::CloakEngine(vmm::Vmm& vmm, std::uint64_t master_seed,
 
 CloakEngine::~CloakEngine()
 {
+    // Never run deferred commits here: System destroys the kernel (and
+    // with it the swap device the commits write into) before the
+    // engine. The kernel's destructor drains the queue while everything
+    // is still alive; anything left is scrubbed and dropped.
+    for (AsyncSealEntry& e : asyncQueue_)
+        std::memset(e.sealed.data(), 0, e.sealed.size());
+    asyncQueue_.clear();
     vmm_.setCloakBackend(nullptr);
 }
 
@@ -153,7 +178,8 @@ CloakEngine::encryptPage(Resource& res, std::uint64_t page_index,
 void
 CloakEngine::encryptPageWith(Resource& res, std::uint64_t page_index,
                              PageMeta& meta,
-                             const crypto::Aes128& cipher)
+                             const crypto::Aes128& cipher,
+                             std::uint64_t* defer_cycles)
 {
     osh_assert(meta.state != PageState::Encrypted,
                "encryptPage on already-encrypted page");
@@ -161,6 +187,15 @@ CloakEngine::encryptPageWith(Resource& res, std::uint64_t page_index,
     Gpa gpa = meta.residentGpa;
     auto frame = frameBytes(gpa);
     auto& cost = vmm_.machine().cost();
+
+    if (chunkedIntegrity_ && !res.isFile) {
+        sealPageChunked(res, page_index, meta, cipher, defer_cycles);
+        plaintextIndex_.erase(gpa);
+        meta.state = PageState::Encrypted;
+        meta.residentGpa = badAddr;
+        vmm_.suspendMpa(vmm_.pmap().translate(gpa));
+        return;
+    }
 
     if (meta.state == PageState::PlaintextDirty || !cleanOptimization_ ||
         meta.version == 0) {
@@ -183,10 +218,11 @@ CloakEngine::encryptPageWith(Resource& res, std::uint64_t page_index,
             std::memcpy(v->ciphertext.data(), frame.data(),
                         frame.size());
         }
-        cost.charge(cost.params().aesPerByte * pageSize +
-                    cost.params().shaPerByte * (pageSize + 40) +
-                    cost.params().cloakFaultFixed,
-                    "page_encrypt");
+        chargeOrDefer(cost,
+                      cost.params().aesPerByte * pageSize +
+                          cost.params().shaPerByte * (pageSize + 40) +
+                          cost.params().cloakFaultFixed,
+                      "page_encrypt", defer_cycles);
         stats_.counter("page_encrypts").inc();
     } else {
         // Clean page: the stored (IV, hash) still cover the contents,
@@ -206,9 +242,10 @@ CloakEngine::encryptPageWith(Resource& res, std::uint64_t page_index,
                             res.domain, 0, res.id, page_index);
             std::memcpy(frame.data(), v->ciphertext.data(),
                         frame.size());
-            cost.charge(cost.params().victimHitCopy +
-                        cost.params().cloakFaultFixed,
-                        "page_reencrypt_victim");
+            chargeOrDefer(cost,
+                          cost.params().victimHitCopy +
+                              cost.params().cloakFaultFixed,
+                          "page_reencrypt_victim", defer_cycles);
             stats_.counter("victim_reencrypt_hits").inc();
             stats_.counter("clean_reencrypts").inc();
         } else {
@@ -228,9 +265,10 @@ CloakEngine::encryptPageWith(Resource& res, std::uint64_t page_index,
                 std::memcpy(v->ciphertext.data(), frame.data(),
                             frame.size());
             }
-            cost.charge(cost.params().aesPerByte * pageSize +
-                        cost.params().cloakFaultFixed,
-                        "page_reencrypt_clean");
+            chargeOrDefer(cost,
+                          cost.params().aesPerByte * pageSize +
+                              cost.params().cloakFaultFixed,
+                          "page_reencrypt_clean", defer_cycles);
             stats_.counter("clean_reencrypts").inc();
         }
     }
@@ -256,6 +294,11 @@ CloakEngine::decryptAndVerifyWith(Resource& res, std::uint64_t page_index,
                                   PageMeta& meta, Gpa gpa,
                                   const crypto::Aes128& cipher)
 {
+    if (chunkedIntegrity_ && !res.isFile) {
+        unsealPageChunked(res, page_index, meta, gpa, cipher);
+        return;
+    }
+
     OSH_TRACE_SCOPE(&vmm_.machine().tracer(), trace::Category::Cloak,
                     "page_decrypt", res.domain, 0, res.id, page_index);
     auto frame = frameBytes(gpa);
@@ -357,7 +400,9 @@ CloakEngine::encryptPages(Resource& res,
     OSH_TRACE_SCOPE(&vmm_.machine().tracer(), trace::Category::Cloak,
                     "encrypt_batch", res.domain, 0, res.id,
                     items.size());
-    if (pool_.workers() <= 1 || items.size() == 1) {
+    // Chunked-integrity mode forces the serial loop: per-chunk dirty
+    // diffing and RNG draws are inherently ordered.
+    if (pool_.workers() <= 1 || items.size() == 1 || chunkedIntegrity_) {
         for (const PageCryptoItem& item : items)
             encryptPageWith(res, item.pageIndex, *item.meta, cipher);
     } else {
@@ -520,7 +565,7 @@ CloakEngine::decryptPages(Resource& res,
     OSH_TRACE_SCOPE(&vmm_.machine().tracer(), trace::Category::Cloak,
                     "decrypt_batch", res.domain, 0, res.id,
                     items.size());
-    if (pool_.workers() <= 1 || items.size() == 1) {
+    if (pool_.workers() <= 1 || items.size() == 1 || chunkedIntegrity_) {
         for (const PageCryptoItem& item : items) {
             decryptAndVerifyWith(res, item.pageIndex, *item.meta,
                                  item.gpa, cipher);
@@ -678,6 +723,274 @@ CloakEngine::sealPlaintextFrames(std::span<const Gpa> gpas)
     if (sealed > 0)
         stats_.counter("preseal_frames").inc(sealed);
     return sealed;
+}
+
+// ---------------------------------------------------------------------------
+// Asynchronous eviction pipeline
+// ---------------------------------------------------------------------------
+
+bool
+CloakEngine::evictPageAsync(
+    Gpa gpa, std::function<void(std::span<const std::uint8_t>)> commit)
+{
+    if (asyncDepth_ == 0 || asyncDraining_)
+        return false;
+    gpa = pageBase(gpa);
+    auto pit = plaintextIndex_.find(gpa);
+    if (pit == plaintextIndex_.end())
+        return false; // No cloaked plaintext: nothing to defer.
+    Resource* res = metadata_.lookup(pit->second.resource).valueOr(nullptr);
+    if (res == nullptr)
+        return false;
+    std::uint64_t page_index = pit->second.pageIndex;
+    PageMeta& meta = metadata_.page(*res, page_index);
+    if (meta.state == PageState::Encrypted || meta.residentGpa != gpa)
+        return false;
+
+    // Queue full: retire the oldest entry first, so depth bounds the
+    // staging memory and entries always commit in FIFO order.
+    if (asyncQueue_.size() >= asyncDepth_)
+        drainOneAsyncEviction();
+
+    auto& cost = vmm_.machine().cost();
+    OSH_TRACE_SCOPE(&vmm_.machine().tracer(), trace::Category::Cloak,
+                    "async_evict_enqueue", res->domain, 0, res->id,
+                    page_index);
+
+    // Eager host-side seal: the exact synchronous encryption — same
+    // RNG draws, version bumps, victim-cache traffic, metadata
+    // transitions and event counts — with its cycle charges routed
+    // into the background lane instead of the guest timeline.
+    std::uint64_t lane_cycles = 0;
+    encryptPageWith(*res, page_index, meta, cipherFor(*res),
+                    &lane_cycles);
+
+    AsyncSealEntry entry;
+    entry.gpa = gpa;
+    entry.resource = res->id;
+    entry.pageIndex = page_index;
+    auto frame = frameBytes(gpa);
+    std::memcpy(entry.sealed.data(), frame.data(), pageSize);
+    // Double buffer: the ciphertext lives in staging from here on; the
+    // frame goes back to the kernel scrubbed.
+    std::memset(frame.data(), 0, frame.size());
+    entry.commit = std::move(commit);
+
+    // Lane model: the seal and its swap-slot write proceed as
+    // background work on one lane, serialized behind whatever the lane
+    // was already doing. The guest only re-synchronizes (and pays a
+    // stall) if it drains before the lane catches up.
+    lane_cycles += cost.params().diskAccess +
+                   cost.params().diskPerByte * pageSize;
+    Cycles now = cost.cycles();
+    laneBusyUntil_ = std::max(laneBusyUntil_, now) + lane_cycles;
+    entry.readyAt = laneBusyUntil_;
+    asyncQueue_.push_back(std::move(entry));
+
+    // Critical-path cost of handing the frame back: snapshot the page
+    // into staging, scrub the frame, fixed fault handling.
+    cost.charge(cost.params().pageCopy + cost.params().pageZero +
+                cost.params().cloakFaultFixed,
+                "page_encrypt_async_enqueue");
+    stats_.counter("async_evictions").inc();
+    return true;
+}
+
+void
+CloakEngine::drainOneAsyncEviction()
+{
+    osh_assert(!asyncQueue_.empty(), "drain of an empty async queue");
+    AsyncSealEntry entry = std::move(asyncQueue_.front());
+    asyncQueue_.pop_front();
+
+    auto& cost = vmm_.machine().cost();
+    Cycles now = cost.cycles();
+    if (entry.readyAt > now) {
+        // The lane has not finished this seal yet: the guest stalls at
+        // the drain barrier until it does.
+        cost.charge(entry.readyAt - now, "async_evict_stall");
+        stats_.counter("async_evict_stalls").inc();
+    }
+    OSH_TRACE_SCOPE(&vmm_.machine().tracer(), trace::Category::Cloak,
+                    "async_evict_commit", systemDomain, 0,
+                    entry.resource, entry.pageIndex);
+    if (entry.commit)
+        entry.commit(std::span<const std::uint8_t>(entry.sealed.data(),
+                                                   pageSize));
+    std::memset(entry.sealed.data(), 0, entry.sealed.size());
+    stats_.counter("async_evict_commits").inc();
+}
+
+void
+CloakEngine::drainAsyncEvictions()
+{
+    if (asyncDraining_ || asyncQueue_.empty())
+        return;
+    asyncDraining_ = true;
+    while (!asyncQueue_.empty())
+        drainOneAsyncEviction();
+    asyncDraining_ = false;
+}
+
+// ---------------------------------------------------------------------------
+// Chunked (incremental) page integrity
+// ---------------------------------------------------------------------------
+
+crypto::Digest
+CloakEngine::chunkHash(const Resource& res, std::uint64_t page_index,
+                       std::size_t chunk, const ChunkState& cs,
+                       std::span<const std::uint8_t> ciphertext)
+{
+    std::uint8_t header[48];
+    storeLe64(header, res.keyId);
+    storeLe64(header + 8, page_index);
+    storeLe64(header + 16, chunk);
+    storeLe64(header + 24, cs.versions[chunk]);
+    std::memcpy(header + 32, cs.ivs[chunk].data(), cs.ivs[chunk].size());
+    crypto::Sha256 ctx;
+    ctx.update(std::span<const std::uint8_t>(header, sizeof(header)));
+    ctx.update(ciphertext);
+    return ctx.final();
+}
+
+crypto::Digest
+CloakEngine::chunkRoot(const ChunkState& cs)
+{
+    crypto::Sha256 ctx;
+    for (const crypto::Digest& h : cs.hashes)
+        ctx.update(std::span<const std::uint8_t>(h.data(), h.size()));
+    return ctx.final();
+}
+
+void
+CloakEngine::sealPageChunked(Resource& res, std::uint64_t page_index,
+                             PageMeta& meta,
+                             const crypto::Aes128& cipher,
+                             std::uint64_t* defer_cycles)
+{
+    auto frame = frameBytes(meta.residentGpa);
+    auto& cost = vmm_.machine().cost();
+
+    bool fresh = meta.chunks == nullptr;
+    if (fresh)
+        meta.chunks = std::make_shared<ChunkState>();
+    ChunkState& cs = *meta.chunks;
+
+    // Diff against the last-seal plaintext snapshot to find the dirty
+    // chunks; a first seal (no snapshot yet) dirties everything.
+    std::array<bool, chunksPerPage> dirty{};
+    std::size_t ndirty = 0;
+    for (std::size_t c = 0; c < chunksPerPage; ++c) {
+        dirty[c] = fresh ||
+                   std::memcmp(frame.data() + c * chunkSize,
+                               cs.plaintext.data() + c * chunkSize,
+                               chunkSize) != 0;
+        if (dirty[c])
+            ++ndirty;
+    }
+
+    if (ndirty == 0) {
+        // Unmodified page: every stored chunk hash still covers the
+        // contents, so re-sealing is a copy of the stored ciphertext.
+        OSH_TRACE_SCOPE(&vmm_.machine().tracer(), trace::Category::Cloak,
+                        "chunk_reencrypt_clean", res.domain, 0, res.id,
+                        page_index);
+        std::memcpy(frame.data(), cs.ciphertext.data(), pageSize);
+        chargeOrDefer(cost,
+                      cost.params().victimHitCopy +
+                          cost.params().cloakFaultFixed,
+                      "chunk_reencrypt_clean", defer_cycles);
+        stats_.counter("chunk_clean_reencrypts").inc();
+        return;
+    }
+
+    OSH_TRACE_SCOPE(&vmm_.machine().tracer(), trace::Category::Cloak,
+                    "chunk_encrypt", res.domain, 0, res.id, page_index);
+    meta.version++;
+    std::memcpy(cs.plaintext.data(), frame.data(), pageSize);
+    for (std::size_t c = 0; c < chunksPerPage; ++c) {
+        auto chunk = frame.subspan(c * chunkSize, chunkSize);
+        if (dirty[c]) {
+            vmm_.machine().rng().fill(cs.ivs[c]);
+            cs.versions[c]++;
+            crypto::aesCtrXcryptInPlace(cipher, cs.ivs[c], chunk);
+            cs.hashes[c] = chunkHash(res, page_index, c, cs, chunk);
+        } else {
+            std::memcpy(chunk.data(),
+                        cs.ciphertext.data() + c * chunkSize, chunkSize);
+        }
+    }
+    std::memcpy(cs.ciphertext.data(), frame.data(), pageSize);
+    meta.hash = chunkRoot(cs);
+
+    // Cost scales with the dirty chunks (AES + chunk MACs) plus the
+    // fixed root recompute — not with the page size.
+    std::uint64_t dirty_bytes = ndirty * chunkSize;
+    chargeOrDefer(cost,
+                  cost.params().aesPerByte * dirty_bytes +
+                      cost.params().shaPerByte *
+                          (dirty_bytes + 48 * ndirty) +
+                      cost.params().shaPerByte *
+                          (chunksPerPage * sizeof(crypto::Digest)) +
+                      cost.params().cloakFaultFixed,
+                  "chunk_encrypt", defer_cycles);
+    stats_.counter("chunk_encrypts").inc();
+    stats_.counter("chunk_dirty_chunks").inc(ndirty);
+}
+
+void
+CloakEngine::unsealPageChunked(Resource& res, std::uint64_t page_index,
+                               PageMeta& meta, Gpa gpa,
+                               const crypto::Aes128& cipher)
+{
+    OSH_TRACE_SCOPE(&vmm_.machine().tracer(), trace::Category::Cloak,
+                    "chunk_decrypt", res.domain, 0, res.id, page_index);
+    osh_assert(meta.chunks != nullptr,
+               "chunked decrypt of a page never chunk-sealed");
+    ChunkState& cs = *meta.chunks;
+    auto frame = frameBytes(gpa);
+    auto& cost = vmm_.machine().cost();
+
+    cost.charge(cost.params().shaPerByte *
+                    (pageSize + 48 * chunksPerPage +
+                     chunksPerPage * sizeof(crypto::Digest)) +
+                cost.params().aesPerByte * pageSize +
+                cost.params().cloakFaultFixed,
+                "chunk_decrypt");
+
+    // Verify every chunk hash over the presented ciphertext, then the
+    // root, before a single byte is decrypted.
+    for (std::size_t c = 0; c < chunksPerPage; ++c) {
+        crypto::Digest h =
+            chunkHash(res, page_index, c, cs,
+                      std::span<const std::uint8_t>(
+                          frame.data() + c * chunkSize, chunkSize));
+        if (!constantTimeEqual(h, cs.hashes[c])) {
+            violation(res, page_index,
+                      formatString(
+                          "chunk integrity check failed for resource "
+                          "%llu page %llu chunk %llu",
+                          static_cast<unsigned long long>(res.id),
+                          static_cast<unsigned long long>(page_index),
+                          static_cast<unsigned long long>(c)));
+        }
+    }
+    if (!constantTimeEqual(chunkRoot(cs), meta.hash)) {
+        violation(res, page_index,
+                  formatString("chunk root mismatch for resource "
+                               "%llu page %llu",
+                               static_cast<unsigned long long>(res.id),
+                               static_cast<unsigned long long>(
+                                   page_index)));
+    }
+    std::memcpy(cs.ciphertext.data(), frame.data(), pageSize);
+    for (std::size_t c = 0; c < chunksPerPage; ++c) {
+        crypto::aesCtrXcryptInPlace(
+            cipher, cs.ivs[c], frame.subspan(c * chunkSize, chunkSize));
+    }
+    std::memcpy(cs.plaintext.data(), frame.data(), pageSize);
+    stats_.counter("chunk_decrypts").inc();
+    stats_.counter("page_decrypts").inc();
 }
 
 std::size_t

@@ -37,6 +37,7 @@
 #include <array>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <list>
 #include <map>
 #include <optional>
@@ -275,6 +276,24 @@ struct PageCryptoItem
     Gpa gpa = badAddr;
 };
 
+/**
+ * One deferred eviction seal. The page was already encrypted — same
+ * RNG draws, metadata transitions and victim-cache traffic as the
+ * synchronous path — with its cycle charges routed into the background
+ * lane; the sealed ciphertext waits in @p sealed until the drain
+ * barrier invokes @p commit (which performs the swap-slot write and
+ * the kernel's tamper/replay/attack observation points).
+ */
+struct AsyncSealEntry
+{
+    Gpa gpa = badAddr;              ///< Frame the page was evicted from.
+    ResourceId resource = 0;
+    std::uint64_t pageIndex = 0;
+    Cycles readyAt = 0;             ///< Lane completion time (stalls).
+    std::array<std::uint8_t, pageSize> sealed{};
+    std::function<void(std::span<const std::uint8_t>)> commit;
+};
+
 /** The Overshadow cloak engine. */
 class CloakEngine : public vmm::CloakBackend
 {
@@ -297,6 +316,14 @@ class CloakEngine : public vmm::CloakBackend
     std::int64_t hypercall(vmm::Vcpu& vcpu, vmm::Hypercall num,
                            std::span<const std::uint64_t> args) override;
     std::size_t sealPlaintextFrames(std::span<const Gpa> gpas) override;
+    bool evictPageAsync(
+        Gpa gpa,
+        std::function<void(std::span<const std::uint8_t>)> commit) override;
+    void drainAsyncEvictions() override;
+    std::size_t asyncPendingEvictions() const override
+    {
+        return asyncQueue_.size();
+    }
 
     // Batched page crypto -------------------------------------------------
 
@@ -437,6 +464,33 @@ class CloakEngine : public vmm::CloakBackend
     void setCryptoWorkers(unsigned workers) { pool_.resize(workers); }
     unsigned cryptoWorkers() const { return pool_.workers(); }
 
+    /**
+     * Depth of the asynchronous eviction queue. 0 (the default) keeps
+     * the exact synchronous legacy path: evictPageAsync always refuses
+     * and the kernel seals + writes on its critical path. At depth N
+     * up to N eviction seals ride the background lane; enqueueing when
+     * full retires the oldest entry first.
+     */
+    void setAsyncEvictDepth(std::size_t depth) { asyncDepth_ = depth; }
+    std::size_t asyncEvictDepth() const { return asyncDepth_; }
+
+    /** Entries still awaiting their drain commit (leak-oracle scans
+     *  read the staging ciphertext through this). */
+    const std::deque<AsyncSealEntry>& asyncPendingEntries() const
+    {
+        return asyncQueue_;
+    }
+
+    /**
+     * Incremental page integrity: per-chunk hash tree instead of the
+     * flat page MAC, so partial writes re-MAC only touched chunks plus
+     * the root. Opt-in (anonymous resources only; files keep the flat
+     * MAC, and checkpoint refuses — chunk state is not serialized).
+     * Must be flipped before any page of the run is sealed.
+     */
+    void setChunkedIntegrity(bool on) { chunkedIntegrity_ = on; }
+    bool chunkedIntegrity() const { return chunkedIntegrity_; }
+
   private:
     struct PlaintextRef
     {
@@ -457,9 +511,13 @@ class CloakEngine : public vmm::CloakBackend
                      PageMeta& meta);
 
     /** encryptPage with the per-resource cipher already looked up
-     *  (the batch path hoists the lookup out of its loop). */
+     *  (the batch path hoists the lookup out of its loop). When
+     *  @p defer_cycles is non-null the page's cycle charges accumulate
+     *  there instead of the guest timeline (the asynchronous eviction
+     *  lane); event counts are still recorded. */
     void encryptPageWith(Resource& res, std::uint64_t page_index,
-                         PageMeta& meta, const crypto::Aes128& cipher);
+                         PageMeta& meta, const crypto::Aes128& cipher,
+                         std::uint64_t* defer_cycles = nullptr);
 
     /** Decrypt + verify the page image in @p gpa; throws on mismatch. */
     void decryptAndVerify(Resource& res, std::uint64_t page_index,
@@ -469,6 +527,28 @@ class CloakEngine : public vmm::CloakBackend
     void decryptAndVerifyWith(Resource& res, std::uint64_t page_index,
                               PageMeta& meta, Gpa gpa,
                               const crypto::Aes128& cipher);
+
+    /** Chunked-integrity seal / unseal bodies (chunkedIntegrity_ on,
+     *  anonymous resources). Same in-place contract as the flat paths;
+     *  cost scales with the number of dirty chunks. */
+    void sealPageChunked(Resource& res, std::uint64_t page_index,
+                         PageMeta& meta, const crypto::Aes128& cipher,
+                         std::uint64_t* defer_cycles);
+    void unsealPageChunked(Resource& res, std::uint64_t page_index,
+                           PageMeta& meta, Gpa gpa,
+                           const crypto::Aes128& cipher);
+
+    /** Integrity hash of one chunk's ciphertext bound to its identity
+     *  (key, page, chunk index, chunk version, chunk IV). */
+    crypto::Digest chunkHash(const Resource& res, std::uint64_t page_index,
+                             std::size_t chunk, const ChunkState& cs,
+                             std::span<const std::uint8_t> ciphertext);
+
+    /** Root of the chunk hash tree: SHA-256 over the chunk hashes. */
+    crypto::Digest chunkRoot(const ChunkState& cs);
+
+    /** Retire the oldest queued async eviction (stall + commit). */
+    void drainOneAsyncEviction();
 
     /** Parallel fan-out/ordered-merge bodies of the batch API, used
      *  when the pool has more than one lane and the batch more than
@@ -532,6 +612,17 @@ class CloakEngine : public vmm::CloakBackend
     VictimCache victims_;
     AuditLog auditLog_;
     StatGroup stats_;
+
+    /** Asynchronous eviction pipeline (0 = exact legacy sync path). */
+    std::size_t asyncDepth_ = 0;
+    std::deque<AsyncSealEntry> asyncQueue_;
+    /** When the background lane finishes its last accepted job. */
+    Cycles laneBusyUntil_ = 0;
+    /** Reentrancy guard: commits must not re-enter the drain. */
+    bool asyncDraining_ = false;
+
+    /** Per-chunk hash-tree integrity instead of the flat page MAC. */
+    bool chunkedIntegrity_ = false;
 
     /** Host lanes for the batch paths; one lane = no threads. */
     WorkerPool pool_{1};

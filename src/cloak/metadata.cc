@@ -127,6 +127,11 @@ MetadataStore::cloneResource(const Resource& src, DomainId new_domain)
             meta.state = PageState::Encrypted;
         }
         meta.residentGpa = badAddr;
+        // Chunked-integrity state is per-resource: deep-copy it so the
+        // clone's future partial writes never mutate the parent's
+        // chunk versions or snapshots.
+        if (meta.chunks)
+            meta.chunks = std::make_shared<ChunkState>(*meta.chunks);
     }
     accountPages(+1, static_cast<std::int64_t>(res.pages.size()));
     stats_.counter("resources_cloned").inc();

@@ -186,10 +186,100 @@ Aes128::encryptBlocks(const std::uint8_t* in, std::uint8_t* out,
         for (std::size_t b = 0; b < nblocks; ++b)
             encryptBlockReference(in + b * aesBlockSize,
                                   out + b * aesBlockSize);
-    } else {
-        for (std::size_t b = 0; b < nblocks; ++b)
-            encryptBlockFast(in + b * aesBlockSize,
-                             out + b * aesBlockSize);
+        return;
+    }
+    std::size_t b = 0;
+    if (bulkMode_) {
+        for (; b + 4 <= nblocks; b += 4)
+            encryptBlocks4Fast(in + b * aesBlockSize,
+                               out + b * aesBlockSize);
+    }
+    for (; b < nblocks; ++b)
+        encryptBlockFast(in + b * aesBlockSize, out + b * aesBlockSize);
+}
+
+void
+Aes128::encryptBlocks4Fast(const std::uint8_t* in,
+                           std::uint8_t* out) const
+{
+    const std::uint32_t* rk = roundKeyWords_.data();
+
+    // Four blocks as four lanes of column words. Every round touches
+    // each lane with the same table/key pattern, so the loads of all
+    // four lanes are independent and the host overlaps them instead of
+    // waiting out one block's round chain.
+    std::uint32_t s0[4], s1[4], s2[4], s3[4];
+    for (int l = 0; l < 4; ++l) {
+        const std::uint8_t* p = in + static_cast<std::size_t>(l) *
+                                         aesBlockSize;
+        s0[l] = loadBe32(p) ^ rk[0];
+        s1[l] = loadBe32(p + 4) ^ rk[1];
+        s2[l] = loadBe32(p + 8) ^ rk[2];
+        s3[l] = loadBe32(p + 12) ^ rk[3];
+    }
+
+    for (int round = 1; round < numRounds; ++round) {
+        rk += 4;
+        for (int l = 0; l < 4; ++l) {
+            std::uint32_t t0 = Te.t0[s0[l] >> 24] ^
+                               Te.t1[(s1[l] >> 16) & 0xff] ^
+                               Te.t2[(s2[l] >> 8) & 0xff] ^
+                               Te.t3[s3[l] & 0xff] ^ rk[0];
+            std::uint32_t t1 = Te.t0[s1[l] >> 24] ^
+                               Te.t1[(s2[l] >> 16) & 0xff] ^
+                               Te.t2[(s3[l] >> 8) & 0xff] ^
+                               Te.t3[s0[l] & 0xff] ^ rk[1];
+            std::uint32_t t2 = Te.t0[s2[l] >> 24] ^
+                               Te.t1[(s3[l] >> 16) & 0xff] ^
+                               Te.t2[(s0[l] >> 8) & 0xff] ^
+                               Te.t3[s1[l] & 0xff] ^ rk[2];
+            std::uint32_t t3 = Te.t0[s3[l] >> 24] ^
+                               Te.t1[(s0[l] >> 16) & 0xff] ^
+                               Te.t2[(s1[l] >> 8) & 0xff] ^
+                               Te.t3[s2[l] & 0xff] ^ rk[3];
+            s0[l] = t0;
+            s1[l] = t1;
+            s2[l] = t2;
+            s3[l] = t3;
+        }
+    }
+
+    rk += 4;
+    for (int l = 0; l < 4; ++l) {
+        std::uint8_t* p = out + static_cast<std::size_t>(l) *
+                                    aesBlockSize;
+        std::uint32_t t0 =
+            (static_cast<std::uint32_t>(sbox[s0[l] >> 24]) << 24) |
+            (static_cast<std::uint32_t>(sbox[(s1[l] >> 16) & 0xff])
+             << 16) |
+            (static_cast<std::uint32_t>(sbox[(s2[l] >> 8) & 0xff])
+             << 8) |
+            static_cast<std::uint32_t>(sbox[s3[l] & 0xff]);
+        std::uint32_t t1 =
+            (static_cast<std::uint32_t>(sbox[s1[l] >> 24]) << 24) |
+            (static_cast<std::uint32_t>(sbox[(s2[l] >> 16) & 0xff])
+             << 16) |
+            (static_cast<std::uint32_t>(sbox[(s3[l] >> 8) & 0xff])
+             << 8) |
+            static_cast<std::uint32_t>(sbox[s0[l] & 0xff]);
+        std::uint32_t t2 =
+            (static_cast<std::uint32_t>(sbox[s2[l] >> 24]) << 24) |
+            (static_cast<std::uint32_t>(sbox[(s3[l] >> 16) & 0xff])
+             << 16) |
+            (static_cast<std::uint32_t>(sbox[(s0[l] >> 8) & 0xff])
+             << 8) |
+            static_cast<std::uint32_t>(sbox[s1[l] & 0xff]);
+        std::uint32_t t3 =
+            (static_cast<std::uint32_t>(sbox[s3[l] >> 24]) << 24) |
+            (static_cast<std::uint32_t>(sbox[(s0[l] >> 16) & 0xff])
+             << 16) |
+            (static_cast<std::uint32_t>(sbox[(s1[l] >> 8) & 0xff])
+             << 8) |
+            static_cast<std::uint32_t>(sbox[s2[l] & 0xff]);
+        storeBe32(p, t0 ^ rk[0]);
+        storeBe32(p + 4, t1 ^ rk[1]);
+        storeBe32(p + 8, t2 ^ rk[2]);
+        storeBe32(p + 12, t3 ^ rk[3]);
     }
 }
 

@@ -15,6 +15,14 @@
  *    tests can pin the optimized kernel against the straightforward
  *    transcription of the spec.
  *
+ * On top of the T-tables, encryptBlocks() has a bulk path that runs
+ * four blocks interleaved through each round: the per-block dependency
+ * chain no longer serializes the table loads, so the host pipelines
+ * them. CTR keystream generation (a page is 256 independent blocks) is
+ * exactly this shape. The path is portable C++ — no intrinsics — and
+ * selectable per instance (setBulkMode) the same way the reference
+ * kernel is, so differential tests pin all three paths to each other.
+ *
  * Simulated crypto *cost* is still charged by the cycle model; host
  * speed only affects how long the simulation itself takes to run.
  */
@@ -75,10 +83,22 @@ class Aes128
     void setReferenceMode(bool on) { referenceMode_ = on; }
     bool referenceMode() const { return referenceMode_; }
 
+    /**
+     * When set (the default), encryptBlocks() runs groups of four
+     * blocks interleaved through the T-table rounds. Off falls back to
+     * one block at a time; referenceMode() overrides both.
+     */
+    void setBulkMode(bool on) { bulkMode_ = on; }
+    bool bulkMode() const { return bulkMode_; }
+
   private:
     static constexpr int numRounds = 10;
 
     void encryptBlockFast(const std::uint8_t* in, std::uint8_t* out) const;
+
+    /** Four blocks, lockstep-interleaved through every round. */
+    void encryptBlocks4Fast(const std::uint8_t* in,
+                            std::uint8_t* out) const;
 
     /** Round keys: (numRounds + 1) x 16 bytes. */
     std::array<std::uint8_t, (numRounds + 1) * aesBlockSize> roundKeys_;
@@ -87,6 +107,7 @@ class Aes128
     std::array<std::uint32_t, (numRounds + 1) * 4> roundKeyWords_;
 
     bool referenceMode_ = false;
+    bool bulkMode_ = true;
 };
 
 } // namespace osh::crypto

@@ -33,6 +33,10 @@ Kernel::Kernel(vmm::Vmm& vmm, Scheduler& sched, ProgramRegistry& programs)
 
 Kernel::~Kernel()
 {
+    // Flush in-flight async evictions while the swap device and attack
+    // hooks are still alive; the engine outlives the kernel (System
+    // member order) and must not commit into destroyed state later.
+    vmm_.drainAsyncEvictions();
     vmm_.setGuestOs(nullptr);
 }
 
@@ -282,6 +286,9 @@ Kernel::checkFreezeRequested(Thread& t)
         return;
     freezeRequests_.erase(it);
     stats_.counter("freezes").inc();
+    // A checkpoint may walk swap slots while we are parked: every
+    // queued eviction must be fully sealed and committed first.
+    vmm_.drainAsyncEvictions();
     sched_.freezeCurrent();
     // Thawed: either the checkpoint completed and the source resumes
     // (live-migration rounds), or a kill is pending (source abandon).
@@ -305,6 +312,9 @@ Kernel::releasePte(Process& proc, GuestVA va_page, Pte& pte)
             }
         }
     } else if (pte.swapped) {
+        // A pending async eviction may still owe this slot its
+        // ciphertext; commit before the slot is scrubbed and reused.
+        vmm_.drainAsyncEvictions();
         if (attackHooks_ != nullptr)
             attackHooks_->onSwapRelease(*this, pte.slot);
         swap_.release(pte.slot);
@@ -561,27 +571,54 @@ Kernel::swapOutAnon(Gpa gpa)
     auto slot = swap_.allocate();
     osh_assert(slot.has_value(), "swap device full");
 
-    // Read the victim frame through the kernel view. If it holds a
-    // cloaked plaintext page the cloak engine encrypts it first — so
-    // what reaches the swap device is ciphertext. The hint routes the
-    // seal through the VMM's batched crypto path.
-    vmm_.prepareFramesForKernel(std::span<const Gpa>(&gpa, 1));
-    std::array<std::uint8_t, pageSize> buf;
-    readFrameAsKernel(currentThread(), gpa, buf);
-    swap_.writeSlot(*slot, buf);
-
     std::uint64_t replay_key =
         (std::uint64_t{asid} << 40) | pageNumber(va_page);
-    if (malice_.tamperSwap) {
-        swap_.rawSlot(*slot)[0] ^= 0xff;
+
+    // Async pipeline: for a cloaked plaintext victim, the engine seals
+    // into a staging buffer and hands the scrubbed frame back now; the
+    // swap-slot write (and the hostile-kernel swap hooks, which must
+    // only ever see sealed ciphertext) run when the entry retires.
+    bool async_queued = vmm_.cloakBackend().evictPageAsync(
+        gpa,
+        [this, slot = *slot, replay_key](
+            std::span<const std::uint8_t> sealed) {
+            swap_.writeSlotPrepaid(slot, sealed);
+            if (malice_.tamperSwap) {
+                swap_.rawSlot(slot)[0] ^= 0xff;
+            }
+            if (malice_.replaySwap) {
+                auto fit = malice_.firstVersions.find(replay_key);
+                if (fit == malice_.firstVersions.end())
+                    malice_.firstVersions[replay_key] =
+                        swap_.rawSlot(slot);
+            }
+            if (attackHooks_ != nullptr)
+                attackHooks_->onSwapOut(*this, slot, replay_key);
+        });
+    if (async_queued) {
+        stats_.counter("async_swap_outs").inc();
+    } else {
+        // Synchronous path (async disabled, or an uncloaked frame).
+        // Read the victim frame through the kernel view. If it holds a
+        // cloaked plaintext page the cloak engine encrypts it first —
+        // so what reaches the swap device is ciphertext. The hint
+        // routes the seal through the VMM's batched crypto path.
+        vmm_.prepareFramesForKernel(std::span<const Gpa>(&gpa, 1));
+        std::array<std::uint8_t, pageSize> buf;
+        readFrameAsKernel(currentThread(), gpa, buf);
+        swap_.writeSlot(*slot, buf);
+
+        if (malice_.tamperSwap) {
+            swap_.rawSlot(*slot)[0] ^= 0xff;
+        }
+        if (malice_.replaySwap) {
+            auto fit = malice_.firstVersions.find(replay_key);
+            if (fit == malice_.firstVersions.end())
+                malice_.firstVersions[replay_key] = swap_.rawSlot(*slot);
+        }
+        if (attackHooks_ != nullptr)
+            attackHooks_->onSwapOut(*this, *slot, replay_key);
     }
-    if (malice_.replaySwap) {
-        auto fit = malice_.firstVersions.find(replay_key);
-        if (fit == malice_.firstVersions.end())
-            malice_.firstVersions[replay_key] = swap_.rawSlot(*slot);
-    }
-    if (attackHooks_ != nullptr)
-        attackHooks_->onSwapOut(*this, *slot, replay_key);
 
     pte->present = false;
     pte->swapped = true;
@@ -599,6 +636,10 @@ Kernel::swapIn(Process& proc, GuestVA va_page, Pte& pte, const Vma& vma)
                     "swap_in", systemDomain, proc.pid, va_page);
     osh_assert(pte.swapped, "swapIn of non-swapped page");
     SwapSlot slot = pte.slot;
+
+    // The slot's ciphertext may still be in flight in the async
+    // eviction queue; swap-in must observe fully sealed contents.
+    vmm_.drainAsyncEvictions();
 
     std::array<std::uint8_t, pageSize> buf;
     swap_.readSlot(slot, buf);

@@ -25,6 +25,9 @@ Kernel::syscallEntry(Thread& t)
     KernelModeGuard guard(t.vcpu);
     checkKillRequested(t);
     checkFreezeRequested(t);
+    // Trap boundary: retire in-flight async evictions so every syscall
+    // (and its attack hooks) observes fully sealed swap contents.
+    vmm_.drainAsyncEvictions();
 
     auto& regs = t.vcpu.regs();
     OSH_TRACE_SCOPE(&vmm_.machine().tracer(), trace::Category::Syscall,
@@ -190,6 +193,8 @@ Kernel::timerTick(Thread& t)
     KernelModeGuard guard(t.vcpu);
     checkKillRequested(t);
     checkFreezeRequested(t);
+    // Trap boundary: same drain barrier as syscallEntry.
+    vmm_.drainAsyncEvictions();
     maybeDeliverSignal(t);
     sched_.preempt();
 }
@@ -597,6 +602,9 @@ Kernel::sysFtruncate(Thread&, std::uint64_t fd, std::uint64_t size)
 std::int64_t
 Kernel::sysFsync(Thread& t, std::uint64_t fd)
 {
+    // Durability barrier: everything queued for eviction must be on
+    // its device before fsync's own writeback is ordered behind it.
+    vmm_.drainAsyncEvictions();
     Process& p = currentProcess();
     OpenFile* f = p.fd(fd);
     if (f == nullptr || f->kind != OpenFile::Kind::File)
@@ -792,6 +800,9 @@ Kernel::sysFork(Thread& t, std::uint64_t token)
                 frames_.unref(new_gpa);
                 auto slot = swap_.allocate();
                 osh_assert(slot.has_value(), "swap full during fork");
+                // The eager copies above can evict (and async-enqueue)
+                // parent pages this loop later reads back from swap.
+                vmm_.drainAsyncEvictions();
                 std::array<std::uint8_t, pageSize> buf;
                 swap_.readSlot(ppte->slot, buf);
                 swap_.writeSlot(*slot, buf);
@@ -818,6 +829,8 @@ Kernel::sysFork(Thread& t, std::uint64_t token)
         } else if (ppte->swapped) {
             auto slot = swap_.allocate();
             osh_assert(slot.has_value(), "swap full during fork");
+            // Same hazard as the cloaked branch: drain before reading.
+            vmm_.drainAsyncEvictions();
             std::array<std::uint8_t, pageSize> buf;
             swap_.readSlot(ppte->slot, buf);
             swap_.writeSlot(*slot, buf);

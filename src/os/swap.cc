@@ -57,6 +57,18 @@ SwapDevice::writeSlot(SwapSlot slot, std::span<const std::uint8_t> page)
 }
 
 void
+SwapDevice::writeSlotPrepaid(SwapSlot slot,
+                             std::span<const std::uint8_t> page)
+{
+    osh_assert(slot < slots_.size() && used_[slot], "write to bad slot");
+    osh_assert(page.size() == pageSize, "swap I/O is page granular");
+    OSH_TRACE_SCOPE(tracer_, trace::Category::Swap, "slot_write",
+                    systemDomain, 0, slot);
+    std::memcpy(slots_[slot].data(), page.data(), pageSize);
+    cost_.charge(0, "swap_out");
+}
+
+void
 SwapDevice::readSlot(SwapSlot slot, std::span<std::uint8_t> page)
 {
     osh_assert(slot < slots_.size() && used_[slot], "read from bad slot");

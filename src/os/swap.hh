@@ -54,6 +54,14 @@ class SwapDevice
     /** Write one page into a slot (charges disk costs). */
     void writeSlot(SwapSlot slot, std::span<const std::uint8_t> page);
 
+    /**
+     * Write one page into a slot whose disk cost was already accounted
+     * elsewhere (the asynchronous eviction lane models the I/O as
+     * background work): counts the swap_out event, charges no cycles.
+     */
+    void writeSlotPrepaid(SwapSlot slot,
+                          std::span<const std::uint8_t> page);
+
     /** Read one page back (charges disk costs). */
     void readSlot(SwapSlot slot, std::span<std::uint8_t> page);
 

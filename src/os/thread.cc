@@ -260,6 +260,17 @@ Scheduler::reapFinished()
     return n;
 }
 
+std::size_t
+Scheduler::joinableFinishedThreads() const
+{
+    std::size_t n = 0;
+    for (const auto& t : threads_) {
+        if (t->state == Thread::State::Zombie && t->host.joinable())
+            ++n;
+    }
+    return n;
+}
+
 std::uint64_t
 Scheduler::run()
 {

@@ -181,6 +181,10 @@ class Scheduler
      */
     std::size_t reapFinished();
 
+    /** Finished guest threads whose host thread is still unjoined —
+     *  what the next reapFinished() would release. */
+    std::size_t joinableFinishedThreads() const;
+
     StatGroup& stats() { return stats_; }
 
   private:

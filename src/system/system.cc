@@ -72,6 +72,22 @@ SystemConfig::Builder::build() const
             "SystemConfig: metadataShards configured with cloaking "
             "disabled — there is no protection metadata to shard");
     }
+    if (cfg_.asyncEvictDepth > 256) {
+        throw std::invalid_argument(
+            "SystemConfig: asyncEvictDepth > 256 — staging that many "
+            "pages exceeds any plausible background-lane window "
+            "(0 means synchronous eviction)");
+    }
+    if (!cfg_.cloakingEnabled && cfg_.asyncEvictDepth > 0) {
+        throw std::invalid_argument(
+            "SystemConfig: asyncEvictDepth configured with cloaking "
+            "disabled — only cloaked evictions have a seal to defer");
+    }
+    if (!cfg_.cloakingEnabled && cfg_.chunkedIntegrity) {
+        throw std::invalid_argument(
+            "SystemConfig: chunkedIntegrity configured with cloaking "
+            "disabled — there are no page MACs to make incremental");
+    }
     if (cfg_.attackSeed != 0 && cfg_.attackSeed == cfg_.seed) {
         throw std::invalid_argument(
             "SystemConfig: attackSeed must differ from seed — an "
@@ -103,6 +119,8 @@ System::System(const SystemConfig& config)
         engine_->setAuditLogCapacity(config.auditLogEntries);
         engine_->setCryptoWorkers(
             static_cast<unsigned>(config.cryptoWorkers));
+        engine_->setAsyncEvictDepth(config.asyncEvictDepth);
+        engine_->setChunkedIntegrity(config.chunkedIntegrity);
     }
     kernel_.setCloakingAvailable(engine_ != nullptr);
     kernel_.setProcessHost(this);
@@ -134,6 +152,9 @@ void
 System::run()
 {
     sched_.run();
+    // Release the host stacks of threads that finished this run; the
+    // Thread objects (and their results) stay.
+    sched_.reapFinished();
 }
 
 ExitResult

@@ -107,6 +107,25 @@ struct SystemConfig
      */
     std::uint64_t attackSeed = 0;
 
+    /**
+     * Depth of the asynchronous re-encryption queue (in pages). 0 runs
+     * the exact legacy synchronous eviction path. At depth N, evicting
+     * a cloaked dirty page snapshots it into a VMM staging buffer and
+     * hands the scrubbed frame back immediately; sealing and the swap
+     * write retire in the background and drain at every trap boundary.
+     * Guest-visible bytes, exit statuses and attack verdicts are
+     * identical at every depth; only cycle accounting differs.
+     */
+    std::size_t asyncEvictDepth = 0;
+
+    /**
+     * Incremental per-chunk page integrity (ablation knob). When on,
+     * anonymous cloaked pages carry a 256-byte-chunk hash tree so a
+     * small dirty write re-MACs only the touched chunks plus the root,
+     * instead of re-hashing the whole page under the flat MAC.
+     */
+    bool chunkedIntegrity = false;
+
     /** vCPU count actually simulated (resolves the 0 default). */
     std::size_t
     effectiveVcpus() const
@@ -199,6 +218,16 @@ class SystemConfig::Builder
     Builder& attackSeed(std::uint64_t s)
     {
         cfg_.attackSeed = s;
+        return *this;
+    }
+    Builder& asyncEvictDepth(std::size_t n)
+    {
+        cfg_.asyncEvictDepth = n;
+        return *this;
+    }
+    Builder& chunkedIntegrity(bool on)
+    {
+        cfg_.chunkedIntegrity = on;
         return *this;
     }
 

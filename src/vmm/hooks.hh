@@ -16,6 +16,7 @@
 #include "vmm/context.hh"
 
 #include <cstdint>
+#include <functional>
 #include <span>
 
 namespace osh::vmm
@@ -81,6 +82,35 @@ class CloakBackend
         (void)gpas;
         return 0;
     }
+
+    /**
+     * Asynchronous eviction: seal the cloaked plaintext in @p gpa into
+     * a backend staging buffer and hand the frame back immediately,
+     * deferring @p commit — which receives the sealed ciphertext —
+     * until the queue drains. Returns false when the backend cannot
+     * defer this frame (async disabled, queue unsupported, or the
+     * frame holds no cloaked plaintext); the caller must then run its
+     * synchronous path. The default backend never defers.
+     */
+    virtual bool
+    evictPageAsync(Gpa gpa,
+                   std::function<void(std::span<const std::uint8_t>)> commit)
+    {
+        (void)gpa;
+        (void)commit;
+        return false;
+    }
+
+    /**
+     * Drain barrier: retire every queued asynchronous eviction (oldest
+     * first), invoking each deferred commit. Callers place this before
+     * any observation point that must see only fully-sealed state —
+     * swap-in, fsync, checkpoint, trap entry. No-op by default.
+     */
+    virtual void drainAsyncEvictions() {}
+
+    /** Asynchronous evictions still in flight (0 when unsupported). */
+    virtual std::size_t asyncPendingEvictions() const { return 0; }
 };
 
 /**

@@ -61,6 +61,14 @@ class Vmm
     CloakBackend& cloakBackend() { return *cloak_; }
 
     /**
+     * Drain the cloak backend's asynchronous eviction queue. The guest
+     * kernel calls this at its trap boundaries and before every swap /
+     * fsync / checkpoint consumption point, so deferred seals can never
+     * be observed half-done. A no-op for backends without a queue.
+     */
+    void drainAsyncEvictions() { cloak_->drainAsyncEvictions(); }
+
+    /**
      * Size the per-vCPU TLB array (SMP). Must be called before any
      * translation; existing cached state is flushed. Each slot models
      * one core's private TLB — shadow page tables stay shared (they

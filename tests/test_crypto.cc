@@ -175,6 +175,36 @@ TEST(Aes, EncryptBlocksMatchesPerBlock)
     }
 }
 
+TEST(Aes, BulkInterleavedMatchesSingleBlockRandom)
+{
+    // 1000 random cases: the four-lane interleaved bulk kernel must be
+    // byte-identical to the per-block T-table and reference kernels at
+    // every block count, including the <4-block tail.
+    Rng rng(0xb41c);
+    for (int trial = 0; trial < 1000; ++trial) {
+        AesKey key;
+        rng.fill(key);
+        Aes128 bulk(key);
+        Aes128 single(key);
+        single.setBulkMode(false);
+        EXPECT_TRUE(bulk.bulkMode());
+        EXPECT_FALSE(single.bulkMode());
+        std::size_t nblocks = 1 + static_cast<std::size_t>(
+                                      rng.nextBounded(13));
+        std::vector<std::uint8_t> in(nblocks * aesBlockSize);
+        rng.fill(in);
+        std::vector<std::uint8_t> a(in.size()), b(in.size()),
+            r(in.size());
+        bulk.encryptBlocks(in.data(), a.data(), nblocks);
+        single.encryptBlocks(in.data(), b.data(), nblocks);
+        for (std::size_t blk = 0; blk < nblocks; ++blk)
+            bulk.encryptBlockReference(in.data() + blk * aesBlockSize,
+                                       r.data() + blk * aesBlockSize);
+        ASSERT_EQ(a, b) << "trial " << trial << " blocks " << nblocks;
+        ASSERT_EQ(a, r) << "trial " << trial << " blocks " << nblocks;
+    }
+}
+
 TEST(Ctr, Sp80038aF511)
 {
     // NIST SP 800-38A F.5.1 CTR-AES128.Encrypt.
@@ -329,6 +359,38 @@ TEST(Sha256, MillionAs)
         ctx.update(chunk);
     EXPECT_EQ(toHex(ctx.final()),
               "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256, FastCompressionMatchesReferenceRandom)
+{
+    // 1000 random (length, content) cases: the unrolled rolling-
+    // schedule compression must match the plain FIPS 180-4 loop,
+    // across block boundaries and the padding tail.
+    Rng rng(0x5a25);
+    ASSERT_FALSE(Sha256::referenceCompression());
+    for (int trial = 0; trial < 1000; ++trial) {
+        std::size_t len = static_cast<std::size_t>(
+            rng.nextBounded(trial % 10 == 0 ? 4097 : 300));
+        std::vector<std::uint8_t> data(len);
+        rng.fill(data);
+        Digest fast = Sha256::hash(data);
+        Sha256::setReferenceCompression(true);
+        Digest ref = Sha256::hash(data);
+        Sha256::setReferenceCompression(false);
+        ASSERT_EQ(fast, ref) << "trial " << trial << " len " << len;
+    }
+}
+
+TEST(Sha256, ReferenceCompressionPassesFipsVectors)
+{
+    Sha256::setReferenceCompression(true);
+    Sha256 ctx;
+    ctx.update(std::string("abc"));
+    Digest d = ctx.final();
+    Sha256::setReferenceCompression(false);
+    EXPECT_EQ(toHex(d),
+              "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f2"
+              "0015ad");
 }
 
 TEST(Sha256, IncrementalMatchesOneShot)

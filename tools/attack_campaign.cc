@@ -9,7 +9,8 @@
  *
  * Usage:
  *   attack_campaign [--seeds=1,2,3] [--points=a,b] [--workloads=x,y]
- *                   [--vcpus=N] [--out=FILE] [--expect=FILE] [--quiet]
+ *                   [--vcpus=N] [--async-depth=N] [--out=FILE]
+ *                   [--expect=FILE] [--quiet]
  *
  * Exit codes:
  *   0  campaign clean (no LEAK, no CRASH, expectation matched if given)
@@ -63,7 +64,8 @@ usage(const std::string& bad)
     std::cerr << "attack_campaign: bad argument: " << bad << "\n"
               << "usage: attack_campaign [--seeds=1,2,3] "
                  "[--points=a,b] [--workloads=x,y] [--vcpus=N] "
-                 "[--out=FILE] [--expect=FILE] [--quiet]\n"
+                 "[--async-depth=N] [--out=FILE] [--expect=FILE] "
+                 "[--quiet]\n"
               << "points:";
     for (AttackPoint p : osh::attack::allAttackPoints())
         std::cerr << " " << osh::attack::attackPointName(p);
@@ -110,6 +112,16 @@ main(int argc, char** argv)
             // SMP world-switch paths against the same expectations.
             try {
                 config.vcpus = std::stoull(value("--vcpus="));
+            } catch (const std::exception&) {
+                return usage(arg);
+            }
+        } else if (arg.rfind("--async-depth=", 0) == 0) {
+            // Verdicts are depth-invariant (the pipeline defers only
+            // cycle charges); this exercises the async eviction and
+            // drain-barrier paths against the same expectations.
+            try {
+                config.asyncDepth =
+                    std::stoull(value("--async-depth="));
             } catch (const std::exception&) {
                 return usage(arg);
             }
