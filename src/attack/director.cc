@@ -1,5 +1,6 @@
 #include "attack/director.hh"
 
+#include "base/bytes.hh"
 #include "cloak/engine.hh"
 #include "os/kernel.hh"
 #include "os/layout.hh"
@@ -175,6 +176,52 @@ AttackDirector::onReadReturn(os::Kernel& kernel, os::Thread& t,
     std::size_t m = std::min<std::size_t>(junk.size(), len);
     kernel.copyToUser(t, buf,
                       std::span<const std::uint8_t>(junk.data(), m));
+    fired();
+}
+
+// ---------------------------------------------------------------------------
+// Syscall-ring attacks
+// ---------------------------------------------------------------------------
+
+void
+AttackDirector::onBatchSubmit(os::Kernel& kernel, os::Thread& t,
+                              GuestVA sub_va, std::uint64_t count)
+{
+    if (config_.point != AttackPoint::RingTamper)
+        return;
+    // The submission ring lives in uncloaked memory the kernel can
+    // write. Scribble one seeded descriptor in the window between the
+    // caller's serialization and the kernel's single copy-out. The
+    // shim's private echo token cannot survive the overwrite, so the
+    // completion check kills the process. Only meaningful against
+    // cloaked callers (the threat model concedes unprotected state).
+    if (!kernel.currentProcess().cloaked)
+        return;
+    std::uint64_t slot = nextRand() % count;
+    std::array<std::uint8_t, os::batchDescBytes> junk;
+    for (auto& b : junk)
+        b = static_cast<std::uint8_t>(nextRand());
+    kernel.copyToUser(t, sub_va + slot * os::batchDescBytes, junk);
+    fired();
+}
+
+void
+AttackDirector::onBatchComplete(os::Kernel& kernel, os::Thread& t,
+                                GuestVA comp_va, std::uint64_t count)
+{
+    if (config_.point != AttackPoint::RingCompForge)
+        return;
+    // Forge one completion after the kernel wrote the ring and before
+    // the caller reads it: a plausible success result with a guessed
+    // echo token. The shim compares against its private nonce stream
+    // and refuses to act on the forgery.
+    if (!kernel.currentProcess().cloaked)
+        return;
+    std::uint64_t slot = nextRand() % count;
+    std::array<std::uint8_t, os::batchCompBytes> forged;
+    storeLe64(forged.data(), nextRand() % 4096);
+    storeLe64(forged.data() + 8, nextRand());
+    kernel.copyToUser(t, comp_va + slot * os::batchCompBytes, forged);
     fired();
 }
 

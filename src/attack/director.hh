@@ -102,6 +102,10 @@ class AttackDirector final : public os::AttackHooks,
                   std::uint64_t replay_key,
                   std::span<std::uint8_t> page) override;
     void onSwapRelease(os::Kernel& kernel, os::SwapSlot slot) override;
+    void onBatchSubmit(os::Kernel& kernel, os::Thread& t,
+                       GuestVA sub_va, std::uint64_t count) override;
+    void onBatchComplete(os::Kernel& kernel, os::Thread& t,
+                         GuestVA comp_va, std::uint64_t count) override;
     void onFsync(os::Kernel& kernel, os::Thread& t,
                  os::InodeId inode) override;
     void onExec(os::Kernel& kernel, os::Thread& t,

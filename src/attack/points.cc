@@ -25,6 +25,8 @@ attackPointName(AttackPoint p)
       case AttackPoint::MigImageRollback: return "mig_image_rollback";
       case AttackPoint::MigStreamReplay: return "mig_stream_replay";
       case AttackPoint::MigManifestTrunc: return "mig_manifest_trunc";
+      case AttackPoint::RingTamper: return "ring_tamper";
+      case AttackPoint::RingCompForge: return "ring_comp_forge";
       case AttackPoint::NumPoints: break;
     }
     return "?";
@@ -61,6 +63,8 @@ isTamperPoint(AttackPoint p)
       case AttackPoint::MigImageRollback:
       case AttackPoint::MigStreamReplay:
       case AttackPoint::MigManifestTrunc:
+      case AttackPoint::RingTamper:
+      case AttackPoint::RingCompForge:
         return true;
       default:
         return false;

@@ -53,6 +53,8 @@ enum class AttackPoint : std::uint8_t
     MigImageRollback,///< Re-present a stale checkpoint image to the target.
     MigStreamReplay, ///< Replay round 0's pre-copy segment in later rounds.
     MigManifestTrunc,///< Truncate the checkpoint image mid-transfer.
+    RingTamper,      ///< Rewrite a submitted batch descriptor in the ring.
+    RingCompForge,   ///< Forge batch completions (result + echo token).
     NumPoints,
 };
 

@@ -4,15 +4,33 @@
 #include "base/logging.hh"
 #include "cloak/transfer.hh"
 #include "crypto/sha256.hh"
+#include "os/kernel.hh"
+#include "vmm/context.hh"
 
 #include <array>
 #include <cstring>
+#include <vector>
 
 namespace osh::cloak
 {
 
 using os::Sys;
 using os::SyscallArgs;
+
+namespace
+{
+
+/** splitmix64: the shim's private echo-token stream. */
+std::uint64_t
+splitmix(std::uint64_t& state)
+{
+    std::uint64_t z = (state += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+} // namespace
 
 Shim::Shim(CloakEngine& engine, DomainId domain, os::Env& env)
     : engine_(engine), domain_(domain), env_(env)
@@ -194,6 +212,50 @@ Shim::marshalledWrite(std::uint64_t fd, GuestVA user_buf,
     return static_cast<std::int64_t>(done);
 }
 
+std::int64_t
+Shim::marshalledPread(std::uint64_t fd, GuestVA user_buf,
+                      std::uint64_t len, std::uint64_t off)
+{
+    std::uint64_t done = 0;
+    while (done < len) {
+        std::uint64_t chunk =
+            std::min<std::uint64_t>(len - done, bounceDataBytes);
+        std::int64_t rv = trap(Sys::Pread,
+                               {fd, bounceVa_, chunk, off + done});
+        if (rv < 0)
+            return done > 0 ? static_cast<std::int64_t>(done) : rv;
+        if (rv > 0)
+            copyGuest(user_buf + done, bounceVa_,
+                      static_cast<std::uint64_t>(rv));
+        done += static_cast<std::uint64_t>(rv);
+        if (static_cast<std::uint64_t>(rv) < chunk)
+            break;
+    }
+    engine_.stats().counter("shim_marshalled_reads").inc();
+    return static_cast<std::int64_t>(done);
+}
+
+std::int64_t
+Shim::marshalledPwrite(std::uint64_t fd, GuestVA user_buf,
+                       std::uint64_t len, std::uint64_t off)
+{
+    std::uint64_t done = 0;
+    while (done < len) {
+        std::uint64_t chunk =
+            std::min<std::uint64_t>(len - done, bounceDataBytes);
+        copyGuest(bounceVa_, user_buf + done, chunk);
+        std::int64_t rv = trap(Sys::Pwrite,
+                               {fd, bounceVa_, chunk, off + done});
+        if (rv < 0)
+            return done > 0 ? static_cast<std::int64_t>(done) : rv;
+        done += static_cast<std::uint64_t>(rv);
+        if (static_cast<std::uint64_t>(rv) < chunk)
+            break;
+    }
+    engine_.stats().counter("shim_marshalled_writes").inc();
+    return static_cast<std::int64_t>(done);
+}
+
 // ---------------------------------------------------------------------------
 // Protected-file emulation
 // ---------------------------------------------------------------------------
@@ -329,6 +391,40 @@ Shim::emulatedWrite(CloakedFile& cf, GuestVA buf, std::uint64_t len)
 }
 
 std::int64_t
+Shim::emulatedPread(CloakedFile& cf, GuestVA buf, std::uint64_t len,
+                    std::uint64_t off)
+{
+    // Positional read: the file offset is untouched.
+    if (off >= cf.size || len == 0)
+        return 0;
+    std::uint64_t n = std::min<std::uint64_t>(len, cf.size - off);
+    copyGuest(buf, cf.mapVa + off, n);
+    engine_.stats().counter("shim_emulated_reads").inc();
+    return static_cast<std::int64_t>(n);
+}
+
+std::int64_t
+Shim::emulatedPwrite(CloakedFile& cf, GuestVA buf, std::uint64_t len,
+                     std::uint64_t off)
+{
+    if (len == 0)
+        return 0;
+    std::uint64_t new_end = off + len;
+    if (new_end > cf.mapPages * pageSize) {
+        std::int64_t r = growMapping(cf, new_end);
+        if (r < 0)
+            return r;
+    }
+    copyGuest(cf.mapVa + off, buf, len);
+    if (new_end > cf.size) {
+        cf.size = new_end;
+        trap(Sys::Ftruncate, {cf.fd, new_end});
+    }
+    engine_.stats().counter("shim_emulated_writes").inc();
+    return static_cast<std::int64_t>(len);
+}
+
+std::int64_t
 Shim::emulatedLseek(CloakedFile& cf, std::int64_t off,
                     std::uint64_t whence)
 {
@@ -364,6 +460,298 @@ Shim::closeProtected(std::uint64_t fd)
     cloakedFiles_.erase(it);
     engine_.stats().counter("shim_protected_closes").inc();
     return r;
+}
+
+// ---------------------------------------------------------------------------
+// Batched submission
+// ---------------------------------------------------------------------------
+
+GuestVA
+Shim::marshalArena()
+{
+    if (arenaVa_ == 0) {
+        static_assert(os::maxBatchDepth * os::batchDescBytes <= pageSize,
+                      "kernel submission ring no longer fits one page");
+        static_assert(os::maxBatchDepth * os::batchCompBytes <= pageSize,
+                      "kernel completion ring no longer fits one page");
+        // Plain uncloaked anonymous memory, registered once and reused
+        // for every batch: this replaces the per-call bounce setup cost
+        // with a persistent arena.
+        std::int64_t va = trap(Sys::Mmap,
+                               {arenaPages_ * pageSize,
+                                os::protRead | os::protWrite, os::mapAnon,
+                                ~0ull, 0});
+        osh_assert(va > 0, "marshal arena allocation failed");
+        arenaVa_ = static_cast<GuestVA>(va);
+    }
+    return arenaVa_;
+}
+
+std::uint64_t
+Shim::nextBatchNonce()
+{
+    return splitmix(batchNonceState_);
+}
+
+[[noreturn]] void
+Shim::ringViolation(const char* what)
+{
+    engine_.stats().counter("ring_violations").inc();
+    Pid pid = 0;
+    if (Domain* d = engine_.findDomain(domain_))
+        pid = d->pid;
+    osh_warn("domain %llu: syscall ring violation: %s",
+             static_cast<unsigned long long>(domain_), what);
+    throw vmm::ProcessKilled{
+        pid, std::string("cloak violation: syscall ring tampered (") +
+                 what + ")"};
+}
+
+std::int64_t
+Shim::shimSubmitBatch(const SyscallArgs& args)
+{
+    GuestVA app_sub = args[0];
+    GuestVA app_comp = args[1];
+    std::uint64_t count = args[2];
+    if (count == 0 || count > os::maxBatchDepth)
+        return -os::errInval;
+
+    // Copy the app's descriptors out of cloaked memory exactly once;
+    // everything below works on this private snapshot.
+    std::vector<std::uint8_t> araw(count * os::batchDescBytes);
+    env_.readBytes(app_sub, araw);
+    std::vector<os::BatchDesc> descs(count);
+    for (std::uint64_t i = 0; i < count; ++i) {
+        const std::uint8_t* d = araw.data() + i * os::batchDescBytes;
+        descs[i].num = static_cast<Sys>(loadLe64(d));
+        for (std::size_t a = 0; a < 5; ++a)
+            descs[i].args[a] = loadLe64(d + 8 * (a + 1));
+        descs[i].echo = loadLe64(d + 48);
+        descs[i].reserved = loadLe64(d + 56);
+    }
+
+    auto writeAppCompletion = [&](std::uint64_t slot, std::int64_t rv) {
+        std::array<std::uint8_t, os::batchCompBytes> c{};
+        storeLe64(c.data(), static_cast<std::uint64_t>(rv));
+        storeLe64(c.data() + 8, descs[slot].echo);
+        env_.writeBytes(app_comp + slot * os::batchCompBytes, c);
+    };
+
+    auto rejected = [](const os::BatchDesc& d) {
+        return d.reserved != 0 || d.num == Sys::SubmitBatch ||
+               !os::Kernel::batchable(d.num);
+    };
+
+    // Calls the shim must serve locally: protected-file emulation, and
+    // fd duplication that would alias a protected fd behind our back.
+    auto localOnly = [&](const os::BatchDesc& d) {
+        switch (d.num) {
+          case Sys::Read:
+          case Sys::Write:
+          case Sys::Pread:
+          case Sys::Pwrite:
+          case Sys::Lseek:
+          case Sys::Close:
+          case Sys::Ftruncate:
+          case Sys::Fsync:
+          case Sys::Fstat:
+            return cloakedFiles_.count(d.args[0]) != 0;
+          case Sys::Dup2:
+            // dup2 closing a protected fd underneath the shim's table
+            // is refused; dup/dup2 FROM a protected fd pass through.
+            return cloakedFiles_.count(d.args[1]) != 0;
+          default:
+            return false;
+        }
+    };
+
+    if (count == 1) {
+        // Depth 1 reproduces the legacy per-trap path bit for bit: no
+        // arena, no kernel ring — route straight through the ordinary
+        // dispatch so every committed baseline replays unchanged.
+        const os::BatchDesc& d = descs[0];
+        std::int64_t rv;
+        if (rejected(d)) {
+            rv = -os::errInval;
+        } else {
+            rv = syscall(env_, d.num,
+                         {d.args[0], d.args[1], d.args[2], d.args[3],
+                          d.args[4]});
+        }
+        writeAppCompletion(0, rv);
+        engine_.stats().counter("shim_batches").inc();
+        return 1;
+    }
+
+    GuestVA arena = marshalArena();
+    GuestVA ksub = arena;
+    GuestVA kcomp = arena + pageSize;
+    GuestVA stage = arena + 2 * pageSize;
+    const std::uint64_t stageBytes = arenaDataPages_ * pageSize;
+    std::uint64_t stageUsed = 0;
+
+    /** One descriptor staged onto the kernel-facing ring. */
+    struct KernelSlot
+    {
+        std::uint64_t appIndex = 0; ///< Slot in the app's ring.
+        std::uint64_t nonce = 0;    ///< Private echo token we expect back.
+        os::BatchDesc desc;         ///< Rewritten descriptor.
+        GuestVA appBuf = 0;         ///< App destination for read-backs.
+        GuestVA stageVa = 0;        ///< Arena staging address (0: none).
+        std::uint64_t len = 0;      ///< Requested transfer length.
+    };
+    std::vector<KernelSlot> slots;
+    std::vector<std::int64_t> results(count, 0);
+
+    // Dispatch the pending kernel-facing ring in ONE secure control
+    // transfer, validate every completion (echo token + result bound)
+    // and copy read data back into cloaked buffers. Called when the
+    // batch is fully staged, and early when staging space runs out or
+    // ordering demands the kernel catch up (a locally-served call
+    // follows staged kernel work).
+    auto flushKernelSlots = [&]() {
+        if (slots.empty())
+            return;
+        std::vector<std::uint8_t> kraw(slots.size() * os::batchDescBytes,
+                                       0);
+        for (std::size_t k = 0; k < slots.size(); ++k) {
+            std::uint8_t* d = kraw.data() + k * os::batchDescBytes;
+            const os::BatchDesc& kd = slots[k].desc;
+            storeLe64(d, static_cast<std::uint64_t>(kd.num));
+            for (std::size_t a = 0; a < 5; ++a)
+                storeLe64(d + 8 * (a + 1), kd.args[a]);
+            storeLe64(d + 48, kd.echo);
+            storeLe64(d + 56, 0);
+        }
+        env_.writeBytes(ksub, kraw);
+
+        std::int64_t rv = trap(Sys::SubmitBatch,
+                               {ksub, kcomp, slots.size()});
+        if (rv < 0) {
+            // The batch itself was refused (a denial of service, not a
+            // protection violation): surface the error per call.
+            for (const KernelSlot& s : slots)
+                results[s.appIndex] = rv;
+        } else if (static_cast<std::uint64_t>(rv) != slots.size()) {
+            ringViolation("completion count mismatch");
+        } else {
+            // Copy completions out of the uncloaked ring exactly once,
+            // then validate each before touching cloaked memory.
+            std::vector<std::uint8_t> craw(slots.size() *
+                                           os::batchCompBytes);
+            env_.readBytes(kcomp, craw);
+            for (std::size_t k = 0; k < slots.size(); ++k) {
+                const KernelSlot& s = slots[k];
+                const std::uint8_t* c =
+                    craw.data() + k * os::batchCompBytes;
+                std::int64_t res =
+                    static_cast<std::int64_t>(loadLe64(c));
+                std::uint64_t echo = loadLe64(c + 8);
+                if (echo != s.nonce)
+                    ringViolation("echo token mismatch");
+                bool bounded = s.desc.num == Sys::Read ||
+                               s.desc.num == Sys::Pread ||
+                               s.desc.num == Sys::Write ||
+                               s.desc.num == Sys::Pwrite;
+                if (bounded && res > static_cast<std::int64_t>(s.len))
+                    ringViolation("result exceeds request");
+                if ((s.desc.num == Sys::Read ||
+                     s.desc.num == Sys::Pread) &&
+                    res > 0) {
+                    copyGuest(s.appBuf, s.stageVa,
+                              static_cast<std::uint64_t>(res));
+                }
+                if (s.desc.num == Sys::Fstat && res == 0)
+                    copyGuest(s.appBuf, s.stageVa, sizeof(os::StatBuf));
+                results[s.appIndex] = res;
+            }
+        }
+        engine_.stats().counter("shim_batch_traps").inc();
+        engine_.stats().counter("shim_batched_calls").inc(slots.size());
+        slots.clear();
+        stageUsed = 0;
+    };
+
+    auto legacyServe = [&](std::uint64_t i) {
+        const os::BatchDesc& d = descs[i];
+        results[i] = syscall(env_, d.num,
+                             {d.args[0], d.args[1], d.args[2],
+                              d.args[3], d.args[4]});
+    };
+
+    for (std::uint64_t i = 0; i < count; ++i) {
+        const os::BatchDesc& d = descs[i];
+        if (rejected(d)) {
+            results[i] = -os::errInval;
+            continue;
+        }
+        if (localOnly(d)) {
+            if (d.num == Sys::Dup2) {
+                results[i] = -os::errInval;
+            } else {
+                // Let the kernel catch up first so emulated and
+                // kernel-bound calls retire in submission order.
+                flushKernelSlots();
+                legacyServe(i);
+            }
+            continue;
+        }
+
+        KernelSlot s;
+        s.appIndex = i;
+        s.desc = d;
+        std::uint64_t need = 0;
+        switch (d.num) {
+          case Sys::Read:
+          case Sys::Pread:
+          case Sys::Fstat:
+          case Sys::Write:
+          case Sys::Pwrite:
+            need = d.num == Sys::Fstat ? sizeof(os::StatBuf)
+                                       : d.args[2];
+            break;
+          default:
+            // Register-only: getpid/yield/clock/lseek/dup/close/...
+            break;
+        }
+        if (need > stageBytes) {
+            // Larger than the whole staging area: serve through the
+            // legacy chunked marshalling path, in order.
+            flushKernelSlots();
+            legacyServe(i);
+            continue;
+        }
+        if (need > stageBytes - stageUsed)
+            flushKernelSlots(); // make room, preserving order
+        if (need > 0) {
+            s.stageVa = stage + stageUsed;
+            stageUsed += need;
+            s.len = need;
+            if (d.num == Sys::Write || d.num == Sys::Pwrite) {
+                // Outbound data leaves cloaked memory here, once.
+                copyGuest(s.stageVa, d.args[1], need);
+            } else {
+                s.appBuf = d.args[1];
+            }
+            s.desc.args[1] = s.stageVa;
+        }
+        s.nonce = nextBatchNonce();
+        s.desc.echo = s.nonce;
+        s.desc.reserved = 0;
+        slots.push_back(s);
+    }
+    flushKernelSlots();
+
+    // Publish all app completions in one bulk write to cloaked memory.
+    std::vector<std::uint8_t> acomp(count * os::batchCompBytes, 0);
+    for (std::uint64_t i = 0; i < count; ++i) {
+        std::uint8_t* c = acomp.data() + i * os::batchCompBytes;
+        storeLe64(c, static_cast<std::uint64_t>(results[i]));
+        storeLe64(c + 8, descs[i].echo);
+    }
+    env_.writeBytes(app_comp, acomp);
+    engine_.stats().counter("shim_batches").inc();
+    return static_cast<std::int64_t>(count);
 }
 
 // ---------------------------------------------------------------------------
@@ -486,6 +874,20 @@ Shim::syscall(os::Env& env, Sys num, const SyscallArgs& args)
         }
         return marshalledWrite(args[0], args[1], args[2]);
 
+      case Sys::Pread:
+        if (auto it = cloakedFiles_.find(args[0]);
+            it != cloakedFiles_.end()) {
+            return emulatedPread(it->second, args[1], args[2], args[3]);
+        }
+        return marshalledPread(args[0], args[1], args[2], args[3]);
+
+      case Sys::Pwrite:
+        if (auto it = cloakedFiles_.find(args[0]);
+            it != cloakedFiles_.end()) {
+            return emulatedPwrite(it->second, args[1], args[2], args[3]);
+        }
+        return marshalledPwrite(args[0], args[1], args[2], args[3]);
+
       case Sys::Lseek:
         if (auto it = cloakedFiles_.find(args[0]);
             it != cloakedFiles_.end()) {
@@ -494,6 +896,17 @@ Shim::syscall(os::Env& env, Sys num, const SyscallArgs& args)
                                  args[2]);
         }
         return trap(num, args);
+
+      case Sys::Dup2:
+        // dup/dup2 of a protected fd pass through (the duplicate is a
+        // plain kernel descriptor), but dup2 must not CLOSE a protected
+        // fd underneath the shim's table: refuse that.
+        if (cloakedFiles_.count(args[1]))
+            return -os::errInval;
+        return trap(num, args);
+
+      case Sys::SubmitBatch:
+        return shimSubmitBatch(args);
 
       case Sys::Close:
         if (cloakedFiles_.count(args[0]))

@@ -72,6 +72,8 @@ class Shim : public os::SyscallInterposer
     DomainId domain() const { return domain_; }
     GuestVA ctcVa() const { return ctcVa_; }
     GuestVA bounceVa() const { return bounceVa_; }
+    /** The persistent marshal arena (0 until the first real batch). */
+    GuestVA arenaVa() const { return arenaVa_; }
 
     /** Cloak fork token minted at the last Fork syscall (consumed by
      *  the system layer when starting the child). */
@@ -112,6 +114,10 @@ class Shim : public os::SyscallInterposer
                                 GuestVA user_buf, std::uint64_t len);
     std::int64_t marshalledWrite(std::uint64_t fd, GuestVA user_buf,
                                  std::uint64_t len);
+    std::int64_t marshalledPread(std::uint64_t fd, GuestVA user_buf,
+                                 std::uint64_t len, std::uint64_t off);
+    std::int64_t marshalledPwrite(std::uint64_t fd, GuestVA user_buf,
+                                  std::uint64_t len, std::uint64_t off);
     std::int64_t shimOpen(const os::SyscallArgs& args);
     std::int64_t shimMmap(const os::SyscallArgs& args);
     std::int64_t shimMunmap(const os::SyscallArgs& args);
@@ -124,10 +130,34 @@ class Shim : public os::SyscallInterposer
                               std::uint64_t len);
     std::int64_t emulatedWrite(CloakedFile& cf, GuestVA buf,
                                std::uint64_t len);
+    std::int64_t emulatedPread(CloakedFile& cf, GuestVA buf,
+                               std::uint64_t len, std::uint64_t off);
+    std::int64_t emulatedPwrite(CloakedFile& cf, GuestVA buf,
+                                std::uint64_t len, std::uint64_t off);
     std::int64_t emulatedLseek(CloakedFile& cf, std::int64_t off,
                                std::uint64_t whence);
     std::int64_t growMapping(CloakedFile& cf, std::uint64_t new_size);
     std::int64_t closeProtected(std::uint64_t fd);
+
+    /**
+     * Batched submission (Sys::SubmitBatch from a cloaked process):
+     * reads the app's descriptor ring out of cloaked memory once,
+     * serves emulated calls locally, stages the rest into the marshal
+     * arena's kernel-facing ring and dispatches them in ONE secure
+     * control transfer, then validates every completion (echo token +
+     * result bounds) before copying data back. args = {app submission
+     * VA, app completion VA, count}.
+     */
+    std::int64_t shimSubmitBatch(const os::SyscallArgs& args);
+
+    /** Lazily allocate the persistent uncloaked marshal arena. */
+    GuestVA marshalArena();
+
+    /** Next echo token from the shim's private stream. */
+    std::uint64_t nextBatchNonce();
+
+    /** Kill this process: the kernel molested the syscall ring. */
+    [[noreturn]] void ringViolation(const char* what);
 
     static std::uint64_t pathKey(const std::string& path);
 
@@ -140,6 +170,20 @@ class Shim : public os::SyscallInterposer
     static constexpr std::uint64_t bouncePages_ = 20;
     /** Bytes of bounce space usable for data staging. */
     static constexpr std::uint64_t bounceDataBytes = 16 * pageSize;
+
+    /**
+     * Persistent marshal arena for batched submission: page 0 holds the
+     * kernel-facing submission ring, page 1 the completion ring, and
+     * the rest is scatter/gather data staging. Allocated on the first
+     * batch deeper than 1 and reused for the life of the shim, so a
+     * busy server pays the setup once instead of per call. Uncloaked by
+     * construction — everything staged here is data the kernel would
+     * see on the legacy marshalled path anyway.
+     */
+    GuestVA arenaVa_ = 0;
+    static constexpr std::uint64_t arenaDataPages_ = 16;
+    static constexpr std::uint64_t arenaPages_ = 2 + arenaDataPages_;
+    std::uint64_t batchNonceState_ = 0x0b5e55ed0a7e4a11ull;
 
     std::map<std::uint64_t, CloakedFile> cloakedFiles_;
     std::vector<std::string> protectedPrefixes_;

@@ -105,6 +105,37 @@ class AttackHooks
     }
 
     /**
+     * A SubmitBatch ring passed range validation and is about to be
+     * copied out of user memory (the kernel's single copy). The ring
+     * lives in uncloaked memory, so a hostile kernel may rewrite
+     * descriptors here — anything it plants is what the kernel will
+     * faithfully dispatch, and the shim's completion validation must
+     * catch the damage.
+     */
+    virtual void onBatchSubmit(Kernel& kernel, Thread& thread,
+                               GuestVA sub_va, std::uint64_t count)
+    {
+        (void)kernel;
+        (void)thread;
+        (void)sub_va;
+        (void)count;
+    }
+
+    /**
+     * SubmitBatch wrote @p count completions to @p comp_va and is about
+     * to return. A hostile kernel may forge results/echo tokens here —
+     * after the kernel's writes, before the (cloaked) caller reads them.
+     */
+    virtual void onBatchComplete(Kernel& kernel, Thread& thread,
+                                 GuestVA comp_va, std::uint64_t count)
+    {
+        (void)kernel;
+        (void)thread;
+        (void)comp_va;
+        (void)count;
+    }
+
+    /**
      * fsync(@p inode) completed writeback. Sealed metadata bundles are
      * at rest now — the boundary where a hostile kernel corrupts,
      * truncates or rolls them back.

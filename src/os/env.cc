@@ -61,6 +61,7 @@ Env::trapToKernel(Sys num, const SyscallArgs& args)
         thread_.pendingExecArgv.clear();
         // User-side state died with the old image.
         scratch_ = 0;
+        batchArea_ = 0;
         handlers_.clear();
         thread_.deliverSignal = -1;
         throw req;
@@ -93,6 +94,60 @@ Env::scratch()
         scratch_ = static_cast<GuestVA>(va);
     }
     return scratch_;
+}
+
+GuestVA
+Env::batchArea()
+{
+    if (batchArea_ == 0) {
+        // One page fits a full-depth descriptor ring plus completions.
+        // Cloaked processes get a cloaked ring: the entries are
+        // application state, and the shim is what re-stages them into
+        // kernel-visible (uncloaked) arena memory.
+        static_assert(maxBatchDepth *
+                              (batchDescBytes + batchCompBytes) <=
+                          pageSize,
+                      "batch ring no longer fits one page");
+        batchArea_ = allocPages(1);
+    }
+    return batchArea_;
+}
+
+std::int64_t
+Env::submitBatch(const std::vector<BatchEntry>& entries,
+                 std::vector<std::int64_t>& results)
+{
+    results.clear();
+    if (entries.empty() || entries.size() > maxBatchDepth)
+        return -errInval;
+    GuestVA sub = batchArea();
+    GuestVA comp = sub + maxBatchDepth * batchDescBytes;
+
+    std::vector<std::uint8_t> raw(entries.size() * batchDescBytes, 0);
+    for (std::size_t i = 0; i < entries.size(); ++i) {
+        std::uint8_t* d = raw.data() + i * batchDescBytes;
+        storeLe64(d, static_cast<std::uint64_t>(entries[i].num));
+        for (std::size_t a = 0; a < entries[i].args.size(); ++a)
+            storeLe64(d + 8 * (a + 1), entries[i].args[a]);
+        // App-level echo is just the slot index; the shim substitutes
+        // its own private tokens on the kernel-facing ring.
+        storeLe64(d + 48, i);
+        storeLe64(d + 56, 0);
+    }
+    writeBytes(sub, raw);
+
+    std::int64_t r =
+        syscall(Sys::SubmitBatch, {sub, comp, entries.size()});
+    if (r < 0)
+        return r;
+
+    std::vector<std::uint8_t> craw(entries.size() * batchCompBytes);
+    readBytes(comp, craw);
+    results.resize(entries.size());
+    for (std::size_t i = 0; i < entries.size(); ++i)
+        results[i] = static_cast<std::int64_t>(
+            loadLe64(craw.data() + i * batchCompBytes));
+    return r;
 }
 
 [[noreturn]] void

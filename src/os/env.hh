@@ -38,6 +38,13 @@ class Env;
 /** Syscall arguments (r1..r5). */
 using SyscallArgs = std::array<std::uint64_t, 5>;
 
+/** One call of a batched submission (Env::submitBatch). */
+struct BatchEntry
+{
+    Sys num = Sys::GetPid;
+    SyscallArgs args{};
+};
+
 /** Interposes on every syscall a program issues (the cloaked shim). */
 class SyscallInterposer
 {
@@ -168,6 +175,16 @@ class Env
         return syscall(Sys::Lseek,
                        {fd, static_cast<std::uint64_t>(off), whence});
     }
+    std::int64_t pread(std::uint64_t fd, GuestVA buf, std::uint64_t len,
+                       std::uint64_t off)
+    {
+        return syscall(Sys::Pread, {fd, buf, len, off});
+    }
+    std::int64_t pwrite(std::uint64_t fd, GuestVA buf, std::uint64_t len,
+                        std::uint64_t off)
+    {
+        return syscall(Sys::Pwrite, {fd, buf, len, off});
+    }
     std::int64_t fstat(std::uint64_t fd, StatBuf& out);
     std::int64_t unlink(const std::string& path);
     std::int64_t mkdir(const std::string& path);
@@ -184,6 +201,22 @@ class Env
     std::int64_t rename(const std::string& from, const std::string& to);
     std::int64_t pipe(int& read_fd, int& write_fd);
     std::int64_t dup(std::uint64_t fd) { return syscall(Sys::Dup, {fd}); }
+    std::int64_t dup2(std::uint64_t oldfd, std::uint64_t newfd)
+    {
+        return syscall(Sys::Dup2, {oldfd, newfd});
+    }
+
+    /**
+     * Submit @p entries as one batched kernel entry (Sys::SubmitBatch):
+     * the calls are staged into this Env's ring pages, dispatched in
+     * one trap, and the per-call results land in @p results (same
+     * order). Returns the number of completions, or a negative error
+     * if the batch itself was rejected. Cloaked processes route this
+     * through the shim, which re-stages the ring in its uncloaked
+     * marshal arena and validates every completion.
+     */
+    std::int64_t submitBatch(const std::vector<BatchEntry>& entries,
+                             std::vector<std::int64_t>& results);
 
     /** Convenience: write a whole string to a descriptor. */
     std::int64_t writeAll(std::uint64_t fd, const std::string& data);
@@ -225,6 +258,9 @@ class Env
     /** Scratch page used to pass strings/argv blobs to the kernel. */
     GuestVA scratch();
 
+    /** Ring page for submitBatch (descriptors + completions). */
+    GuestVA batchArea();
+
     Kernel& kernel_;
     Thread& thread_;
     EnvRuntime* runtime_;
@@ -232,6 +268,7 @@ class Env
     TrapHook trapHook_;
 
     GuestVA scratch_ = 0;
+    GuestVA batchArea_ = 0;
     std::uint64_t nextHandlerToken_ = 1;
     std::map<std::uint64_t, std::function<void(Env&, int)>> handlers_;
     bool inSignalHandler_ = false;

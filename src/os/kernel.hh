@@ -166,6 +166,13 @@ class Kernel : public vmm::GuestOsHooks
      */
     std::int64_t syscallEntry(Thread& thread);
 
+    /**
+     * Is @p num allowed inside a SubmitBatch ring? The shim applies
+     * the same whitelist so depth-independent semantics hold on both
+     * sides of the trust boundary.
+     */
+    static bool batchable(Sys num);
+
     /** Timer interrupt: scheduling tick (+ pending kill/signal checks). */
     void timerTick(Thread& thread);
 
@@ -252,6 +259,17 @@ class Kernel : public vmm::GuestOsHooks
                             std::span<const std::uint8_t> data);
 
     // Syscall implementations ----------------------------------------------
+
+    /**
+     * The dispatch switch shared by the per-trap path (syscallEntry)
+     * and the batched path (sysSubmitBatch): routes one decoded call
+     * to its sys* handler. Charges nothing itself — trap-boundary
+     * costs stay in syscallEntry, so batch dispatch pays them once.
+     */
+    std::int64_t dispatchSyscall(Thread& t, Sys num, std::uint64_t a1,
+                                 std::uint64_t a2, std::uint64_t a3,
+                                 std::uint64_t a4, std::uint64_t a5);
+
     std::int64_t sysExit(Thread& t, std::int64_t status);
     std::int64_t sysMmap(Thread& t, std::uint64_t len, std::uint64_t prot,
                          std::uint64_t flags, std::uint64_t fd,
@@ -263,6 +281,10 @@ class Kernel : public vmm::GuestOsHooks
                          std::uint64_t len);
     std::int64_t sysWrite(Thread& t, std::uint64_t fd, GuestVA buf,
                           std::uint64_t len);
+    std::int64_t sysPread(Thread& t, std::uint64_t fd, GuestVA buf,
+                          std::uint64_t len, std::uint64_t off);
+    std::int64_t sysPwrite(Thread& t, std::uint64_t fd, GuestVA buf,
+                           std::uint64_t len, std::uint64_t off);
     std::int64_t sysLseek(Thread& t, std::uint64_t fd, std::int64_t off,
                           std::uint64_t whence);
     std::int64_t sysFstat(Thread& t, std::uint64_t fd, GuestVA out_va);
@@ -274,6 +296,10 @@ class Kernel : public vmm::GuestOsHooks
     std::int64_t sysFsync(Thread& t, std::uint64_t fd);
     std::int64_t sysPipe(Thread& t, GuestVA fds_out);
     std::int64_t sysDup(Thread& t, std::uint64_t fd);
+    std::int64_t sysDup2(Thread& t, std::uint64_t oldfd,
+                         std::uint64_t newfd);
+    std::int64_t sysSubmitBatch(Thread& t, GuestVA sub_va,
+                                GuestVA comp_va, std::uint64_t count);
     std::int64_t sysSpawn(Thread& t, GuestVA name_va, GuestVA argv_va,
                           std::uint64_t argv_len);
     std::int64_t sysFork(Thread& t, std::uint64_t token);

@@ -61,6 +61,20 @@ Kernel::syscallEntry(Thread& t)
     std::uint64_t a1 = regs.gpr[1], a2 = regs.gpr[2], a3 = regs.gpr[3],
                   a4 = regs.gpr[4], a5 = regs.gpr[5];
 
+    std::int64_t result = dispatchSyscall(t, num, a1, a2, a3, a4, a5);
+
+    regs.gpr[0] = static_cast<std::uint64_t>(result);
+    maybeDeliverSignal(t);
+    cost.charge(cost.params().syscallReturn);
+    return result;
+}
+
+std::int64_t
+Kernel::dispatchSyscall(Thread& t, Sys num, std::uint64_t a1,
+                        std::uint64_t a2, std::uint64_t a3,
+                        std::uint64_t a4, std::uint64_t a5)
+{
+    auto& cost = vmm_.machine().cost();
     std::int64_t result;
     switch (num) {
       case Sys::Exit:
@@ -151,6 +165,18 @@ Kernel::syscallEntry(Thread& t)
       case Sys::Dup:
         result = sysDup(t, a1);
         break;
+      case Sys::Pread:
+        result = sysPread(t, a1, a2, a3, a4);
+        break;
+      case Sys::Pwrite:
+        result = sysPwrite(t, a1, a2, a3, a4);
+        break;
+      case Sys::Dup2:
+        result = sysDup2(t, a1, a2);
+        break;
+      case Sys::SubmitBatch:
+        result = sysSubmitBatch(t, a1, a2, a3);
+        break;
       case Sys::Spawn:
         result = sysSpawn(t, a1, a2, a3);
         break;
@@ -180,11 +206,38 @@ Kernel::syscallEntry(Thread& t)
         result = -errNoSys;
         break;
     }
-
-    regs.gpr[0] = static_cast<std::uint64_t>(result);
-    maybeDeliverSignal(t);
-    cost.charge(cost.params().syscallReturn);
     return result;
+}
+
+/**
+ * The batch whitelist: calls with simple register/buffer semantics
+ * whose handlers neither replace the process image nor juggle the
+ * scheduler in ways that assume a fresh trap frame per call. Anything
+ * else completes as -errInval without being dispatched.
+ */
+bool
+Kernel::batchable(Sys num)
+{
+    switch (num) {
+      case Sys::GetPid:
+      case Sys::GetPpid:
+      case Sys::Yield:
+      case Sys::Clock:
+      case Sys::Read:
+      case Sys::Write:
+      case Sys::Pread:
+      case Sys::Pwrite:
+      case Sys::Lseek:
+      case Sys::Fstat:
+      case Sys::Dup:
+      case Sys::Dup2:
+      case Sys::Close:
+      case Sys::Ftruncate:
+      case Sys::Fsync:
+        return true;
+      default:
+        return false;
+    }
 }
 
 void
@@ -507,6 +560,106 @@ Kernel::sysWrite(Thread& t, std::uint64_t fd, GuestVA buf,
 }
 
 std::int64_t
+Kernel::sysPread(Thread& t, std::uint64_t fd, GuestVA buf,
+                 std::uint64_t len, std::uint64_t off)
+{
+    // Positional read: same data path as sysRead, but the offset comes
+    // from the caller and the descriptor's own offset never moves —
+    // which is what lets a batched server serve ranges without
+    // interleaving lseek descriptors.
+    Process& p = currentProcess();
+    OpenFile* f = p.fd(fd);
+    if (f == nullptr)
+        return -errBadF;
+    if (f->kind != OpenFile::Kind::File)
+        return -errSPipe;
+    if (len > 0 && !validUserRange(p, buf, len, true))
+        return -errFault;
+
+    Inode& ino = vfs_.inode(f->inode);
+    if (ino.isDir())
+        return -errIsDir;
+    if (off >= ino.size || len == 0)
+        return 0;
+    std::uint64_t n = std::min<std::uint64_t>(len, ino.size - off);
+
+    std::uint64_t done = 0;
+    std::array<std::uint8_t, pageSize> tmp;
+    while (done < n) {
+        std::uint64_t pos = off + done;
+        std::uint64_t page_index = pageNumber(pos);
+        std::uint64_t in_page =
+            std::min<std::uint64_t>(n - done, pageSize - pageOffset(pos));
+        PageCacheEntry& e = ensureCached(ino.id, page_index);
+        Gpa gpa = e.gpa;
+        {
+            KernelModeGuard guard(t.vcpu);
+            t.vcpu.readBytes(kernelVa(gpa) + pageOffset(pos),
+                             std::span<std::uint8_t>(tmp.data(), in_page));
+        }
+        copyToUser(t, buf + done,
+                   std::span<const std::uint8_t>(tmp.data(), in_page));
+        done += in_page;
+    }
+
+    if (malice_.corruptReadBuffers && n > 0) {
+        std::array<std::uint8_t, 16> junk;
+        junk.fill(0xcc);
+        std::size_t m = std::min<std::size_t>(junk.size(), n);
+        copyToUser(t, buf, std::span<const std::uint8_t>(junk.data(), m));
+    }
+    if (attackHooks_ != nullptr && n > 0)
+        attackHooks_->onReadReturn(*this, t, buf, n);
+    stats_.counter("file_preads").inc();
+    return static_cast<std::int64_t>(n);
+}
+
+std::int64_t
+Kernel::sysPwrite(Thread& t, std::uint64_t fd, GuestVA buf,
+                  std::uint64_t len, std::uint64_t off)
+{
+    Process& p = currentProcess();
+    OpenFile* f = p.fd(fd);
+    if (f == nullptr)
+        return -errBadF;
+    if (f->kind != OpenFile::Kind::File)
+        return -errSPipe;
+    if (len > 0 && !validUserRange(p, buf, len, false))
+        return -errFault;
+    if (!(f->flags & openWrite))
+        return -errPerm;
+
+    Inode& ino = vfs_.inode(f->inode);
+    if (ino.isDir())
+        return -errIsDir;
+
+    std::uint64_t done = 0;
+    std::array<std::uint8_t, pageSize> tmp;
+    while (done < len) {
+        std::uint64_t pos = off + done;
+        std::uint64_t page_index = pageNumber(pos);
+        std::uint64_t in_page =
+            std::min<std::uint64_t>(len - done,
+                                    pageSize - pageOffset(pos));
+        copyFromUser(t, buf + done,
+                     std::span<std::uint8_t>(tmp.data(), in_page));
+        PageCacheEntry& e = ensureCached(ino.id, page_index);
+        {
+            KernelModeGuard guard(t.vcpu);
+            t.vcpu.writeBytes(
+                kernelVa(e.gpa) + pageOffset(pos),
+                std::span<const std::uint8_t>(tmp.data(), in_page));
+        }
+        e.dirty = true;
+        done += in_page;
+    }
+    if (off + len > ino.size)
+        ino.size = off + len;
+    stats_.counter("file_pwrites").inc();
+    return static_cast<std::int64_t>(len);
+}
+
+std::int64_t
 Kernel::sysLseek(Thread&, std::uint64_t fd, std::int64_t off,
                  std::uint64_t whence)
 {
@@ -545,7 +698,9 @@ Kernel::sysFstat(Thread& t, std::uint64_t fd, GuestVA out_va)
         sb.isDir = ino.isDir() ? 1 : 0;
         sb.inode = static_cast<std::uint32_t>(ino.id);
     }
-    std::array<std::uint8_t, sizeof(StatBuf)> raw;
+    // Value-initialize: if the struct ever grows padding, the copy to
+    // user memory must never carry uninitialized kernel-stack bytes.
+    std::array<std::uint8_t, sizeof(StatBuf)> raw{};
     std::memcpy(raw.data(), &sb, sizeof(sb));
     if (!validUserRange(p, out_va, sizeof(sb), true))
         return -errFault;
@@ -667,6 +822,110 @@ Kernel::sysDup(Thread&, std::uint64_t fd)
     if (fd >= p.fds.size() || !p.fds[fd])
         return -errBadF;
     return p.allocFd(p.fds[fd]);
+}
+
+std::int64_t
+Kernel::sysDup2(Thread&, std::uint64_t oldfd, std::uint64_t newfd)
+{
+    constexpr std::uint64_t maxFds = 256;
+    Process& p = currentProcess();
+    if (oldfd >= p.fds.size() || !p.fds[oldfd])
+        return -errBadF;
+    if (newfd >= maxFds)
+        return -errBadF;
+    if (oldfd == newfd)
+        return static_cast<std::int64_t>(newfd);
+    if (newfd < p.fds.size() && p.fds[newfd])
+        closeFile(p, p.fds[newfd]);
+    if (newfd >= p.fds.size())
+        p.fds.resize(newfd + 1);
+    p.fds[newfd] = p.fds[oldfd];
+    return static_cast<std::int64_t>(newfd);
+}
+
+std::int64_t
+Kernel::sysSubmitBatch(Thread& t, GuestVA sub_va, GuestVA comp_va,
+                       std::uint64_t count)
+{
+    Process& p = currentProcess();
+    if (count == 0 || count > maxBatchDepth)
+        return -errInval;
+    const std::uint64_t sub_bytes = count * batchDescBytes;
+    const std::uint64_t comp_bytes = count * batchCompBytes;
+    if (!validUserRange(p, sub_va, sub_bytes, false))
+        return -errFault;
+    if (!validUserRange(p, comp_va, comp_bytes, true))
+        return -errFault;
+
+    // The hostile-kernel window on the submission side: the ring still
+    // lives in user (for cloaked callers: uncloaked arena) memory.
+    if (attackHooks_ != nullptr)
+        attackHooks_->onBatchSubmit(*this, t, sub_va, count);
+
+    // Single copy: every descriptor leaves the ring exactly once,
+    // before anything is validated or dispatched. Nothing below ever
+    // re-reads sub_va, so a concurrent (hostile) rewrite of the ring
+    // cannot create a checked-vs-used mismatch.
+    std::vector<std::uint8_t> raw(sub_bytes);
+    copyFromUser(t, sub_va, raw);
+    std::vector<BatchDesc> descs(count);
+    for (std::uint64_t i = 0; i < count; ++i) {
+        const std::uint8_t* d = raw.data() + i * batchDescBytes;
+        descs[i].num = static_cast<Sys>(loadLe64(d));
+        for (std::size_t a = 0; a < 5; ++a)
+            descs[i].args[a] = loadLe64(d + 8 * (a + 1));
+        descs[i].echo = loadLe64(d + 48);
+        descs[i].reserved = loadLe64(d + 56);
+    }
+
+    // Pre-seal hint, once per batch: every present page an I/O
+    // descriptor's buffer spans is about to be touched through the
+    // kernel view, so hand the whole set to the bulk crypto pipeline
+    // up front instead of sealing one fault at a time.
+    std::vector<Gpa> preseal;
+    for (const BatchDesc& d : descs) {
+        if (d.num != Sys::Read && d.num != Sys::Write &&
+            d.num != Sys::Pread && d.num != Sys::Pwrite)
+            continue;
+        GuestVA buf = d.args[1];
+        std::uint64_t len = d.args[2];
+        if (len == 0 || !validUserRange(p, buf, len, false))
+            continue;
+        for (GuestVA va = pageBase(buf); va < buf + len; va += pageSize) {
+            Pte* pte = p.as.findPte(va);
+            if (pte != nullptr && pte->present)
+                preseal.push_back(pageBase(pte->gpa));
+        }
+    }
+    vmm_.prepareFramesForKernel(preseal);
+
+    auto& cost = vmm_.machine().cost();
+    std::vector<std::uint8_t> craw(comp_bytes);
+    for (std::uint64_t i = 0; i < count; ++i) {
+        const BatchDesc& d = descs[i];
+        std::int64_t r;
+        if (d.reserved != 0 || !batchable(d.num)) {
+            // Malformed or non-batchable: complete with an error but
+            // keep dispatching the rest of the ring.
+            r = -errInval;
+        } else {
+            cost.charge(cost.params().batchDispatch, "batch_dispatch");
+            r = dispatchSyscall(t, d.num, d.args[0], d.args[1],
+                                d.args[2], d.args[3], d.args[4]);
+            stats_.counter("batched_syscalls").inc();
+        }
+        storeLe64(craw.data() + i * batchCompBytes,
+                  static_cast<std::uint64_t>(r));
+        storeLe64(craw.data() + i * batchCompBytes + 8, d.echo);
+    }
+    copyToUser(t, comp_va, craw);
+
+    // The hostile-kernel window on the completion side: results are in
+    // user memory now, the caller has not read them yet.
+    if (attackHooks_ != nullptr)
+        attackHooks_->onBatchComplete(*this, t, comp_va, count);
+    stats_.counter("batches").inc();
+    return static_cast<std::int64_t>(count);
 }
 
 std::vector<std::string>

@@ -44,6 +44,10 @@ enum class Sys : std::uint64_t
     Rename = 31,
     Pipe = 32,
     Dup = 33,
+    Pread = 34,      ///< Positional read: offset argument, fd offset untouched.
+    Pwrite = 35,     ///< Positional write: offset argument, fd offset untouched.
+    Dup2 = 36,       ///< Duplicate oldfd onto a caller-chosen newfd.
+    SubmitBatch = 37,///< Dispatch a ring of syscall descriptors in one trap.
 
     Spawn = 40,      ///< fork+exec combo: start a program as a child.
     Fork = 41,
@@ -82,6 +86,10 @@ sysName(Sys num)
       case Sys::Rename: return "rename";
       case Sys::Pipe: return "pipe";
       case Sys::Dup: return "dup";
+      case Sys::Pread: return "pread";
+      case Sys::Pwrite: return "pwrite";
+      case Sys::Dup2: return "dup2";
+      case Sys::SubmitBatch: return "submit_batch";
       case Sys::Spawn: return "spawn";
       case Sys::Fork: return "fork";
       case Sys::Exec: return "exec";
@@ -164,6 +172,59 @@ struct StatBuf
     std::uint64_t size;
     std::uint32_t isDir;
     std::uint32_t inode;
+};
+
+/**
+ * Batched-syscall ring ABI (Sys::SubmitBatch).
+ *
+ * SubmitBatch(sub_va, comp_va, count) names a submission array of
+ * `count` descriptors at sub_va and a completion array of `count`
+ * entries at comp_va, both in user memory. The kernel copies every
+ * descriptor out ONCE before dispatching anything (the caller — for
+ * cloaked processes, the shim — likewise copies each completion out
+ * once before trusting it), dispatches the batch through the ordinary
+ * per-syscall handlers inside the single trap, and writes one
+ * completion per descriptor. The return value is the number of
+ * completions written, or a negative Err if the ring itself is
+ * malformed (bad count, unmapped arrays).
+ *
+ * Descriptor (8 little-endian u64 words, 64 bytes):
+ *   word 0  syscall number (must be batch-whitelisted, see kernel)
+ *   word 1..5  arguments r1..r5
+ *   word 6  echo token, copied verbatim into the completion
+ *   word 7  reserved, must be 0
+ *
+ * Completion (2 little-endian u64 words, 16 bytes):
+ *   word 0  result (r0 of the dispatched call)
+ *   word 1  the descriptor's echo token
+ *
+ * The echo token exists for the cloaked path: the shim draws tokens
+ * from a private stream, and a completion whose token does not match
+ * what the shim wrote proves the (hostile) kernel forged or reordered
+ * completions — grounds for a cloak-violation kill, never for trusting
+ * the data.
+ */
+constexpr std::uint64_t batchDescWords = 8;
+constexpr std::uint64_t batchDescBytes = batchDescWords * 8;
+constexpr std::uint64_t batchCompWords = 2;
+constexpr std::uint64_t batchCompBytes = batchCompWords * 8;
+/** Hard ring capacity: a batch deeper than this is rejected whole. */
+constexpr std::uint64_t maxBatchDepth = 32;
+
+/** One batch descriptor, host-side view (serialized little-endian). */
+struct BatchDesc
+{
+    Sys num = Sys::GetPid;
+    std::uint64_t args[5] = {0, 0, 0, 0, 0};
+    std::uint64_t echo = 0;
+    std::uint64_t reserved = 0;
+};
+
+/** One batch completion, host-side view. */
+struct BatchComp
+{
+    std::uint64_t result = 0;
+    std::uint64_t echo = 0;
 };
 
 } // namespace osh::os

@@ -56,6 +56,7 @@ struct CostParams
     Cycles pageZero = 600;       ///< Zero-filling a fresh frame.
     Cycles pageCopy = 800;       ///< Copying one page (fork, COW).
     Cycles kernelOp = 50;        ///< Generic kernel bookkeeping unit.
+    Cycles batchDispatch = 40;   ///< Decoding+routing one ring descriptor.
 };
 
 /** Global cycle accumulator plus per-event statistics. */

@@ -349,20 +349,73 @@ wlFileserver(Env& env)
     std::uint64_t span = file_bytes > req_bytes
                              ? file_bytes - req_bytes
                              : 1;
-    for (std::uint64_t r = 0; r < requests; ++r) {
-        std::uint64_t off = splitmix(s) % span;
-        env.lseek(static_cast<std::uint64_t>(fd),
-                  static_cast<std::int64_t>(off), os::seekSet);
-        std::int64_t got = env.read(static_cast<std::uint64_t>(fd), buf,
-                                    req_bytes);
-        if (got <= 0)
-            return 43;
-        fnvMix(h, hashGuestRange(env, buf,
-                                 static_cast<std::uint64_t>(got)));
-        if (env.write(static_cast<std::uint64_t>(sink), buf,
-                      static_cast<std::uint64_t>(got)) != got)
-            return 45;
-        env.lseek(static_cast<std::uint64_t>(sink), 0, os::seekSet);
+    std::uint64_t depth = argAt(env, 4, 0);
+    if (depth > 1) {
+        // Batched serve loop: groups of up to `depth` requests are
+        // submitted as one pread batch (range reads replace the
+        // lseek+read pairs), hashed, then answered with one pwrite
+        // batch. Byte-for-byte the same responses and final sink state
+        // as the serial loop below — only the trap count changes.
+        std::uint64_t k_max = std::min<std::uint64_t>(
+            std::min<std::uint64_t>(depth, os::maxBatchDepth), requests);
+        std::uint64_t req_pages = std::max<std::uint64_t>(
+            1, roundUpToPage(req_bytes) / pageSize);
+        GuestVA bufs = env.allocPages(req_pages * k_max);
+        std::vector<os::BatchEntry> entries;
+        std::vector<std::int64_t> results;
+        std::uint64_t r = 0;
+        while (r < requests) {
+            std::uint64_t k =
+                std::min<std::uint64_t>(k_max, requests - r);
+            entries.clear();
+            for (std::uint64_t c = 0; c < k; ++c) {
+                std::uint64_t off = splitmix(s) % span;
+                entries.push_back(
+                    {os::Sys::Pread,
+                     {static_cast<std::uint64_t>(fd),
+                      bufs + c * req_pages * pageSize, req_bytes, off}});
+            }
+            if (env.submitBatch(entries, results) !=
+                static_cast<std::int64_t>(k))
+                return 46;
+            entries.clear();
+            for (std::uint64_t c = 0; c < k; ++c) {
+                std::int64_t got = results[c];
+                if (got <= 0)
+                    return 43;
+                GuestVA cbuf = bufs + c * req_pages * pageSize;
+                fnvMix(h, hashGuestRange(
+                              env, cbuf,
+                              static_cast<std::uint64_t>(got)));
+                entries.push_back(
+                    {os::Sys::Pwrite,
+                     {static_cast<std::uint64_t>(sink), cbuf,
+                      static_cast<std::uint64_t>(got), 0}});
+            }
+            if (env.submitBatch(entries, results) !=
+                static_cast<std::int64_t>(k))
+                return 46;
+            for (std::uint64_t c = 0; c < k; ++c)
+                if (results[c] < 0)
+                    return 45;
+            r += k;
+        }
+    } else {
+        for (std::uint64_t r = 0; r < requests; ++r) {
+            std::uint64_t off = splitmix(s) % span;
+            env.lseek(static_cast<std::uint64_t>(fd),
+                      static_cast<std::int64_t>(off), os::seekSet);
+            std::int64_t got = env.read(static_cast<std::uint64_t>(fd),
+                                        buf, req_bytes);
+            if (got <= 0)
+                return 43;
+            fnvMix(h, hashGuestRange(env, buf,
+                                     static_cast<std::uint64_t>(got)));
+            if (env.write(static_cast<std::uint64_t>(sink), buf,
+                          static_cast<std::uint64_t>(got)) != got)
+                return 45;
+            env.lseek(static_cast<std::uint64_t>(sink), 0, os::seekSet);
+        }
     }
     env.close(static_cast<std::uint64_t>(sink));
     env.close(static_cast<std::uint64_t>(fd));
@@ -912,6 +965,105 @@ wlVictimPaging(Env& env)
     return writeResult(env, "wl.victim.paging", h);
 }
 
+/**
+ * Server-category victim: a many-connection content server that
+ * submits its syscalls in batches (Sys::SubmitBatch), so the
+ * submission/completion rings in uncloaked memory become attack
+ * surface — the injection point for ring descriptor tampering and
+ * completion forgery. Secrets live in a cloaked sentinel arena; the
+ * served content is public (a socket is public by nature), so the
+ * victim tolerates corrupted response payloads but not sentinel damage.
+ */
+int
+wlVictimServer(Env& env)
+{
+    const std::uint64_t seed = workloadSeed(env);
+    const std::uint64_t sentinel = attackSentinel(seed);
+    const std::uint64_t secret_pages = 4;
+    const std::uint64_t conns = argAt(env, 0, 6);
+    const std::uint64_t rounds = argAt(env, 1, 3);
+    const std::uint64_t req_bytes = 512;
+    const std::uint64_t file_pages = 4;
+    const std::uint64_t file_bytes = file_pages * pageSize;
+
+    GuestVA arena = env.allocPages(secret_pages);
+    plantSentinel(env, arena, secret_pages, sentinel);
+    env.getpid();
+
+    // Public content file.
+    env.mkdir("/www");
+    std::int64_t fd = env.open("/www/srv_content",
+                               os::openCreate | os::openRead |
+                                   os::openWrite | os::openTrunc);
+    if (fd < 0)
+        return 9;
+    {
+        GuestVA page = env.allocPages(1);
+        std::uint64_t s = seed ^ 0x5e6e6;
+        for (std::uint64_t p = 0; p < file_pages; ++p) {
+            for (std::uint64_t i = 0; i < pageSize; i += 8)
+                env.store64(page + i, splitmix(s));
+            if (env.write(static_cast<std::uint64_t>(fd), page,
+                          pageSize) !=
+                static_cast<std::int64_t>(pageSize))
+                return 9;
+        }
+    }
+    std::int64_t sink = env.open("/www/srv_resp",
+                                 os::openCreate | os::openWrite |
+                                     os::openTrunc);
+    if (sink < 0)
+        return 9;
+
+    std::uint64_t k = std::min<std::uint64_t>(conns, os::maxBatchDepth);
+    std::uint64_t req_pages =
+        std::max<std::uint64_t>(1, roundUpToPage(req_bytes) / pageSize);
+    GuestVA bufs = env.allocPages(req_pages * k);
+    std::uint64_t s = seed ^ 0x5e71e;
+    std::uint64_t h = fnvOffset;
+    std::vector<os::BatchEntry> entries;
+    std::vector<std::int64_t> results;
+    for (std::uint64_t round = 0; round < rounds; ++round) {
+        entries.clear();
+        for (std::uint64_t c = 0; c < k; ++c) {
+            std::uint64_t off = splitmix(s) % (file_bytes - req_bytes);
+            entries.push_back({os::Sys::Pread,
+                               {static_cast<std::uint64_t>(fd),
+                                bufs + c * req_pages * pageSize,
+                                req_bytes, off}});
+        }
+        if (env.submitBatch(entries, results) !=
+            static_cast<std::int64_t>(k))
+            return 9;
+        entries.clear();
+        for (std::uint64_t c = 0; c < k; ++c) {
+            // The content is public and kernel-controlled, so only the
+            // transfer length is checked — never the payload bytes.
+            if (results[c] != static_cast<std::int64_t>(req_bytes))
+                return 9;
+            GuestVA cbuf = bufs + c * req_pages * pageSize;
+            fnvMix(h, hashGuestRange(env, cbuf, req_bytes));
+            entries.push_back({os::Sys::Pwrite,
+                               {static_cast<std::uint64_t>(sink), cbuf,
+                                req_bytes, c * req_bytes}});
+        }
+        if (env.submitBatch(entries, results) !=
+            static_cast<std::int64_t>(k))
+            return 9;
+        for (std::uint64_t c = 0; c < k; ++c)
+            if (results[c] != static_cast<std::int64_t>(req_bytes))
+                return 9;
+        env.getpid(); // per-round trap boundary for syscall attacks
+        if (!sentinelIntact(env, arena, secret_pages, sentinel))
+            return victimStatusCorrupt;
+    }
+    env.close(static_cast<std::uint64_t>(sink));
+    env.close(static_cast<std::uint64_t>(fd));
+    if (!sentinelIntact(env, arena, secret_pages, sentinel))
+        return victimStatusCorrupt;
+    return writeResult(env, "wl.victim.server", h);
+}
+
 // ---------------------------------------------------------------------------
 // Scale-bench tenant (bench_scale)
 // ---------------------------------------------------------------------------
@@ -977,6 +1129,7 @@ victimNames()
         "wl.victim.fork",
         "wl.victim.fileio",
         "wl.victim.paging",
+        "wl.victim.server",
     };
     return names;
 }
@@ -1024,6 +1177,7 @@ registerAll(system::System& sys)
     add("wl.victim.fork", wlVictimFork);
     add("wl.victim.fileio", wlVictimFileio);
     add("wl.victim.paging", wlVictimPaging);
+    add("wl.victim.server", wlVictimServer);
 }
 
 std::string
