@@ -76,7 +76,17 @@ struct BenchOptions
     bool fastPath = true;
     /** Async eviction queue depth (0 = synchronous legacy path). */
     std::size_t asyncEvictDepth = 0;
+    /** Timing-channel hardening posture: virtualized per-context clock
+     *  plus constant-cost cloak responses (docs/threat-model.md). Off
+     *  is the exact-cost legacy system every committed baseline
+     *  replays bit-identically. */
+    bool timingHardened = false;
 };
+
+/** Clock-spoofing knobs the hardened bench series use — the same
+ *  values the attack campaign applies to its timing cells. */
+constexpr Cycles hardenedClockFuzzCycles = 1'000'000;
+constexpr Cycles hardenedClockOffsetCycles = 1'000'000;
 
 /** Build a system with workloads registered. */
 inline std::unique_ptr<system::System>
@@ -84,18 +94,23 @@ makeSystem(const BenchOptions& opt)
 {
     trace::TraceConfig tc;
     tc.enabled = tracingRequested();
-    auto cfg = system::SystemConfig::Builder{}
-                   .cloaking(opt.cloaked)
-                   .guestFrames(opt.frames)
-                   .seed(opt.seed)
-                   .preemptOpsPerTick(opt.preemptOps)
-                   .shadowRetention(opt.fastPath)
-                   .victimCacheEntries(
-                       opt.fastPath ? system::SystemConfig{}.victimCacheEntries
-                                    : 0)
-                   .asyncEvictDepth(opt.cloaked ? opt.asyncEvictDepth : 0)
-                   .trace(tc)
-                   .build();
+    auto builder =
+        system::SystemConfig::Builder{}
+            .cloaking(opt.cloaked)
+            .guestFrames(opt.frames)
+            .seed(opt.seed)
+            .preemptOpsPerTick(opt.preemptOps)
+            .shadowRetention(opt.fastPath)
+            .victimCacheEntries(
+                opt.fastPath ? system::SystemConfig{}.victimCacheEntries
+                             : 0)
+            .asyncEvictDepth(opt.cloaked ? opt.asyncEvictDepth : 0)
+            .trace(tc);
+    if (opt.timingHardened)
+        builder.clockFuzzCycles(hardenedClockFuzzCycles)
+            .clockOffsetCycles(hardenedClockOffsetCycles)
+            .constantCostCloak(true);
+    auto cfg = builder.build();
     auto sys = std::make_unique<system::System>(cfg);
     workloads::registerAll(*sys);
     return sys;

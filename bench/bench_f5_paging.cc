@@ -30,7 +30,8 @@ struct RunResult
 
 RunResult
 runOne(osh::bench::BenchReport& report, std::uint64_t frames,
-       bool cloaked, std::size_t async_depth, const char* tag)
+       bool cloaked, std::size_t async_depth, const char* tag,
+       bool hardened = false)
 {
     using namespace osh;
     const std::vector<std::string> argv = {"256", "3", "1"};
@@ -38,6 +39,7 @@ runOne(osh::bench::BenchReport& report, std::uint64_t frames,
     opt.cloaked = cloaked;
     opt.frames = frames;
     opt.asyncEvictDepth = async_depth;
+    opt.timingHardened = hardened;
     auto sys = bench::makeSystem(opt);
     auto r = sys->runProgram("wl.memstress", argv);
     if (r.status != 0)
@@ -75,17 +77,23 @@ main()
                   "3 passes)");
 
     bench::BenchReport report("f5");
-    std::printf("%-12s %14s %8s %14s %8s %7s %14s %8s %7s\n",
+    std::printf("%-12s %14s %8s %14s %8s %7s %14s %8s %7s %14s %7s\n",
                 "guest frames", "native(cyc)", "swaps", "cloaked(cyc)",
-                "swaps", "ratio", "async4(cyc)", "swaps", "ratio");
+                "swaps", "ratio", "async4(cyc)", "swaps", "ratio",
+                "hardened(cyc)", "ratio");
     for (std::uint64_t frames : {384u, 272u, 256u, 240u, 224u, 208u}) {
         RunResult nat = runOne(report, frames, false, 0, "native");
         RunResult sync = runOne(report, frames, true, 0, "cloaked");
         RunResult async4 = runOne(report, frames, true, 4, "async4");
+        // Timing-hardened cloaked run (virtualized clock +
+        // constant-cost responses): the cost of closing the paging
+        // timing oracles, measured against the same paging pressure.
+        RunResult hard = runOne(report, frames, true, 0, "hardened",
+                                /*hardened=*/true);
 
         std::printf(
             "%-12llu %14llu %8llu %14llu %8llu %6.2fx %14llu %8llu "
-            "%6.2fx\n",
+            "%6.2fx %14llu %6.2fx\n",
             static_cast<unsigned long long>(frames),
             static_cast<unsigned long long>(nat.cycles),
             static_cast<unsigned long long>(nat.swapIns),
@@ -96,12 +104,16 @@ main()
             static_cast<unsigned long long>(async4.cycles),
             static_cast<unsigned long long>(async4.swapIns),
             static_cast<double>(async4.cycles) /
+                static_cast<double>(nat.cycles),
+            static_cast<unsigned long long>(hard.cycles),
+            static_cast<double>(hard.cycles) /
                 static_cast<double>(nat.cycles));
     }
     std::printf("\n(paper shape: overhead grows as the resident "
                 "fraction shrinks — every swap adds crypto; the async4 "
                 "series defers the seal + swap write off the critical "
-                "path)\n");
+                "path; the hardened series prices the constant-cost "
+                "timing defenses of docs/threat-model.md)\n");
     report.write();
     return 0;
 }

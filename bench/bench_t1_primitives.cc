@@ -273,6 +273,56 @@ primitives()
              c.h.engine.metadata().page(*c.res, c.scratch);
              c.scratch = (c.scratch + 1) % 64; // never reuse the cache
          }},
+
+        // --- Timing-hardened series (docs/threat-model.md) ---
+        // The same primitives with constant-cost cloak responses on:
+        // every secret-dependent fast path charges its worst-case
+        // sibling, so the hardened cost is the overhead a defender
+        // pays to close the timing oracles. The dirty seal is already
+        // the worst case, so hardening adds only the metadata
+        // hit-charged-as-miss delta to it — and the clean/victim
+        // paths must land on exactly the same hardened cost (that
+        // equality IS the defense).
+        {"hardened_page_encrypt_dirty", false,
+         [](Ctx& c) { c.h.engine.setConstantCostMode(true); },
+         [](Ctx& c) { c.app.store64(Harness::appVa, ++c.scratch); },
+         [](Ctx& c) { c.kernel.load64(Harness::kernelVa); }},
+
+        {"hardened_clean_reencrypt", false,
+         [](Ctx& c) {
+             c.h.engine.setConstantCostMode(true);
+             c.app.store64(Harness::appVa, 1);
+             c.kernel.load64(Harness::kernelVa);
+         },
+         [](Ctx& c) { c.app.load64(Harness::appVa); },
+         [](Ctx& c) { c.kernel.load64(Harness::kernelVa); }},
+
+        {"hardened_victim_reencrypt", true,
+         [](Ctx& c) {
+             c.h.engine.setConstantCostMode(true);
+             c.app.store64(Harness::appVa, 1);
+             c.kernel.load64(Harness::kernelVa);
+         },
+         [](Ctx& c) { c.app.load64(Harness::appVa); },
+         [](Ctx& c) { c.kernel.load64(Harness::kernelVa); }},
+
+        {"hardened_victim_decrypt", true,
+         [](Ctx& c) {
+             c.h.engine.setConstantCostMode(true);
+             c.app.store64(Harness::appVa, 1);
+             c.kernel.load64(Harness::kernelVa);
+         },
+         [](Ctx& c) { c.kernel.load64(Harness::kernelVa); },
+         [](Ctx& c) { c.app.load64(Harness::appVa); }},
+
+        {"hardened_metadata_cache_hit", true,
+         [](Ctx& c) {
+             c.h.engine.setConstantCostMode(true);
+             c.res = &c.h.engine.metadata().createResource(c.h.domain);
+             c.h.engine.metadata().page(*c.res, 0); // warm
+         },
+         nullptr,
+         [](Ctx& c) { c.h.engine.metadata().page(*c.res, 0); }},
     };
     return prims;
 }

@@ -216,20 +216,47 @@ CampaignReport::table() const
 namespace
 {
 
+/**
+ * Chance recovery of the balanced 32-bit timing secret is 16/32; the
+ * probability of >= 24/32 matches by luck is under 0.4%, so a cell
+ * clearing this bar recovered real information through time.
+ */
+constexpr std::size_t timingLeakMatchBits = 24;
+
+/** Virtual-clock knobs the hardened timing cells run with. */
+constexpr Cycles hardenedClockFuzz = 1'000'000;
+constexpr Cycles hardenedClockOffset = 1'000'000;
+
 system::SystemConfig
-victimSystemConfig(std::uint64_t seed, const std::string& workload,
-                   std::size_t vcpus, std::size_t async_depth)
+victimSystemConfig(std::uint64_t seed, AttackPoint point,
+                   const std::string& workload, std::size_t vcpus,
+                   std::size_t async_depth, bool timing_hardening)
 {
     // The paging victim must thrash: give it fewer frames than its
     // arena so every page cycles through the (hostile) swap device.
     bool paging = workload == "wl.victim.paging";
-    return system::SystemConfig::Builder{}
-        .seed(seed)
-        .guestFrames(paging ? 96 : 512)
-        .cloaking(true)
-        .vcpus(vcpus)
-        .asyncEvictDepth(async_depth)
-        .build();
+    auto b = system::SystemConfig::Builder{}
+                 .seed(seed)
+                 .guestFrames(paging ? 96 : 512)
+                 .cloaking(true)
+                 .vcpus(vcpus)
+                 .asyncEvictDepth(async_depth);
+    // Per-oracle environment pins, so each timing point exercises
+    // exactly the cache it targets regardless of CLI knobs.
+    if (point == AttackPoint::TimingCleanProbe)
+        b.victimCacheEntries(0); // force the clean re-encrypt path
+    if (point == AttackPoint::TimingMetadataProbe)
+        b.metadataCacheEntries(12); // an LRU the noise set just evicts
+    if (point == AttackPoint::TimingAsyncDrain)
+        b.asyncEvictDepth(4); // the drain-stall oracle needs lanes
+    // Hardening applies only to timing cells: every legacy cell keeps
+    // the exact cost sequence its committed expectation row replays.
+    if (timing_hardening && isTimingPoint(point)) {
+        b.clockFuzzCycles(hardenedClockFuzz)
+            .clockOffsetCycles(hardenedClockOffset)
+            .constantCostCloak(true);
+    }
+    return b.build();
 }
 
 /**
@@ -257,8 +284,8 @@ runMigrationCell(std::uint64_t seed, AttackPoint point,
     cell.point = point;
     cell.workload = workload;
 
-    system::SystemConfig cfg =
-        victimSystemConfig(seed, workload, vcpus, async_depth);
+    system::SystemConfig cfg = victimSystemConfig(
+        seed, point, workload, vcpus, async_depth, true);
     system::System src(cfg);
     workloads::registerAll(src);
     system::System dst(cfg);
@@ -463,7 +490,7 @@ runMigrationCell(std::uint64_t seed, AttackPoint point,
 CampaignCell
 runCell(std::uint64_t seed, AttackPoint point,
         const std::string& workload, std::size_t vcpus,
-        std::size_t async_depth)
+        std::size_t async_depth, bool timing_hardening)
 {
     if (isMigrationPoint(point))
         return runMigrationCell(seed, point, workload, vcpus,
@@ -474,8 +501,8 @@ runCell(std::uint64_t seed, AttackPoint point,
     cell.point = point;
     cell.workload = workload;
 
-    system::SystemConfig cfg =
-        victimSystemConfig(seed, workload, vcpus, async_depth);
+    system::SystemConfig cfg = victimSystemConfig(
+        seed, point, workload, vcpus, async_depth, timing_hardening);
     system::System sys(cfg);
     workloads::registerAll(sys);
 
@@ -513,9 +540,38 @@ runCell(std::uint64_t seed, AttackPoint point,
     std::uint64_t sentinel = workloads::attackSentinel(seed);
     std::string leak = findSentinelLeak(sys, director, sentinel);
 
+    // Timing-oracle classification: no cloaked byte ever reaches the
+    // kernel, but if the probe's threshold-recovered bits match the
+    // timing victim's balanced secret above chance, time itself was
+    // the channel — and that is a leak.
+    std::string timing_leak;
+    if (leak.empty() && isTimingPoint(point) &&
+        workload == "wl.victim.timing") {
+        const auto secret = workloads::timingSecretBits(seed);
+        const auto& got = director.recoveredBits();
+        if (got.size() >= secret.size()) {
+            // The victim's warmup round may have produced a leading
+            // probe; the last |secret| probes line up with the bits.
+            std::size_t off = got.size() - secret.size();
+            std::size_t matches = 0;
+            for (std::size_t i = 0; i < secret.size(); ++i)
+                if (got[off + i] == secret[i])
+                    ++matches;
+            if (matches >= timingLeakMatchBits) {
+                timing_leak = "timing oracle recovered " +
+                              std::to_string(matches) + "/" +
+                              std::to_string(secret.size()) +
+                              " secret bits";
+            }
+        }
+    }
+
     if (!leak.empty()) {
         cell.verdict = Verdict::Leak;
         cell.detail = "sentinel found in " + leak;
+    } else if (!timing_leak.empty()) {
+        cell.verdict = Verdict::Leak;
+        cell.detail = timing_leak;
     } else if (other_kill) {
         cell.verdict = Verdict::Crash;
         cell.detail = "killed: " + kill_reason;
@@ -548,7 +604,8 @@ runCampaign(const CampaignConfig& config)
             for (const std::string& wl : workloads) {
                 CampaignCell cell =
                     runCell(seed, point, wl, config.vcpus,
-                            config.asyncDepth);
+                            config.asyncDepth,
+                            config.timingHardening);
                 report.metrics.counter(cat, "cells")++;
                 report.metrics.counter(cat, "firings") +=
                     cell.firings;

@@ -98,6 +98,17 @@ struct CampaignConfig
      */
     std::size_t asyncDepth = 0;
 
+    /**
+     * Timing-channel hardening for every victim System: virtualized
+     * per-context clock (fuzz + offset) plus constant-cost cloak
+     * responses. Defaults ON, so the full default sweep — including
+     * the timing-oracle points against the timing victim — is clean.
+     * Turning it off demonstrates the LEAK cells the hardening closes
+     * (tools/attack_campaign --timing-hardening=0, and the dedicated
+     * timing tests).
+     */
+    bool timingHardening = true;
+
     /** Throws std::invalid_argument on empty seeds or duplicates. */
     void validate() const;
 
@@ -127,12 +138,13 @@ struct CampaignReport
 };
 
 /** Run one cell: fresh System, director installed, victim run,
- *  oracle + classification. @p vcpus and @p async_depth as in
- *  CampaignConfig. */
+ *  oracle + classification. @p vcpus, @p async_depth and
+ *  @p timing_hardening as in CampaignConfig. */
 CampaignCell runCell(std::uint64_t seed, AttackPoint point,
                      const std::string& workload,
                      std::size_t vcpus = 0,
-                     std::size_t async_depth = 0);
+                     std::size_t async_depth = 0,
+                     bool timing_hardening = true);
 
 class AttackDirector;
 

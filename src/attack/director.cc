@@ -6,10 +6,13 @@
 #include "os/layout.hh"
 #include "os/process.hh"
 #include "os/swap.hh"
+#include "os/syscalls.hh"
 #include "os/thread.hh"
 #include "trace/trace.hh"
 
 #include <algorithm>
+#include <cstdio>
+#include <cstdlib>
 #include <cstring>
 
 namespace osh::attack
@@ -23,6 +26,43 @@ constexpr std::uint64_t replayPageMask = (std::uint64_t{1} << 40) - 1;
 
 /** Most freed-slot copies the resurrection attack keeps around. */
 constexpr std::size_t graveyardCapacity = 64;
+
+// Timing-oracle geometry — must match wl.victim.timing (workloads.cc):
+// a 20-page arena whose top page (A) is dirty-encoded (bit=1 write,
+// bit=0 read), next page down (B) is always-clean and metadata-encoded
+// through the 16 noise pages below it.
+constexpr std::size_t timingArenaPages = 20;
+constexpr std::size_t timingNoisePages = 16;
+
+/**
+ * Dirty-vs-clean threshold for the victim-cache and clean-page probes.
+ * Inside the probe window a dirty page costs a full seal —
+ * aesPerByte*4096 + shaPerByte*(4096+40) + cloakFaultFixed = 91,012
+ * cycles — while the clean re-encrypt path costs 49,652 and a
+ * victim-cache restore only ~2,000 (plus a constant ~1.3k of VM-exit /
+ * shadow-fill overhead either way). 70,000 splits the clusters with a
+ * wide margin.
+ */
+constexpr Cycles timingSealThreshold = 70'000;
+
+/**
+ * Metadata hit-vs-miss threshold. The probe re-seals the always-clean
+ * signal page B for a constant base cost (a victim-cache restore plus
+ * VM-exit/shadow overhead, ~2,985 cycles); the engine's metadata
+ * lookup adds metadataHit (40) or metadataMiss (900) on top, so the
+ * observed clusters are exactly 3,025 vs 3,885 and their midpoint
+ * separates them.
+ */
+constexpr Cycles timingMetadataThreshold = 3'455;
+
+/**
+ * Async drain-stall threshold. Force-evicting page A parks a sealed
+ * copy on an async lane whose occupancy is seal cost + diskAccess
+ * (300,000) + diskPerByte*4096; the timed drain barrier stalls for the
+ * remaining occupancy, so a dirty seal (~397k total) and a clean one
+ * (~310-355k) straddle 370,000.
+ */
+constexpr Cycles timingDrainThreshold = 370'000;
 
 } // namespace
 
@@ -159,6 +199,121 @@ AttackDirector::onSyscallEntry(os::Kernel& kernel, os::Thread& t)
         if (!lie_.active)
             armShadowLie(kernel);
         return;
+
+      case AttackPoint::TimingVictimProbe:
+      case AttackPoint::TimingCleanProbe:
+      case AttackPoint::TimingAsyncDrain:
+      case AttackPoint::TimingMetadataProbe:
+        timingProbe(kernel, t);
+        return;
+
+      default:
+        return;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Timing-oracle probes
+// ---------------------------------------------------------------------------
+
+bool
+AttackDirector::locateTimingArena(os::Kernel& kernel, GuestVA& top)
+{
+    std::vector<GuestVA> vas = cloakedPresentPages(kernel);
+    if (vas.size() < timingArenaPages)
+        return false;
+    // The timing victim's signal arena is the top timingArenaPages
+    // contiguous cloaked pages. Victims with a different memory shape
+    // simply never match, so the probe stays quiet against them
+    // (0 firings -> Harmless).
+    std::size_t n = vas.size();
+    for (std::size_t i = n - timingArenaPages + 1; i < n; ++i) {
+        if (vas[i] != vas[i - 1] + pageSize)
+            return false;
+    }
+    top = vas[n - 1];
+    return true;
+}
+
+void
+AttackDirector::recordProbe(Cycles delta, bool bit)
+{
+    // OSH_TIMING_DEBUG dumps raw probe deltas to stderr — how the
+    // classification thresholds above were calibrated.
+    if (std::getenv("OSH_TIMING_DEBUG") != nullptr)
+        std::fprintf(stderr, "probe delta=%llu bit=%d\n",
+                     (unsigned long long)delta, bit ? 1 : 0);
+    probeDeltas_.push_back(delta);
+    recoveredBits_.push_back(bit ? 1 : 0);
+    fired();
+}
+
+void
+AttackDirector::timingProbe(os::Kernel& kernel, os::Thread& t)
+{
+    // One probe per victim round, synchronous with the secret bit the
+    // round encodes: the victim yields exactly once per bit.
+    if (static_cast<os::Sys>(t.vcpu.regs().gpr[0]) != os::Sys::Yield)
+        return;
+    os::Process& proc = kernel.currentProcess();
+    if (!proc.cloaked)
+        return;
+    GuestVA top = 0;
+    if (!locateTimingArena(kernel, top))
+        return;
+    GuestVA page_a = top;                 // Dirty-encoded signal page.
+    GuestVA page_b = top - pageSize;      // Metadata-encoded signal page.
+    vmm::Vmm& vmm = kernel.vmm();
+    std::array<std::uint8_t, 64> window;
+
+    switch (config_.point) {
+      case AttackPoint::TimingVictimProbe:
+      case AttackPoint::TimingCleanProbe: {
+        // Read page A through the kernel view and time the seal the
+        // engine performs before handing over the frame: a page the
+        // victim wrote this round pays the full dirty seal, one it
+        // only read pays the clean re-encrypt (or, with the victim
+        // cache enabled, almost nothing).
+        Cycles t0 = vmm.readTsc(0);
+        t.vcpu.readBytes(page_a, window);
+        Cycles t1 = vmm.readTsc(0);
+        recordProbe(t1 - t0, t1 - t0 > timingSealThreshold);
+        return;
+      }
+
+      case AttackPoint::TimingMetadataProbe: {
+        // Time the re-seal of the always-clean page B: its constant
+        // cost carries the engine's metadata lookup on top, hit or
+        // miss depending on whether the victim's noise touches evicted
+        // B from the metadata LRU this round.
+        Cycles t0 = vmm.readTsc(0);
+        t.vcpu.readBytes(page_b, window);
+        Cycles t1 = vmm.readTsc(0);
+        recordProbe(t1 - t0, t1 - t0 > timingMetadataThreshold);
+        // Outside the timed window, drop the victim's cached noise
+        // translations so next round's noise touches re-walk into the
+        // cloak engine (and its metadata cache) again. Cost is the
+        // same for either bit value, so this adds no signal.
+        for (std::size_t i = 0; i < timingNoisePages; ++i) {
+            vmm.invalidateVa(proc.as.asid(),
+                             page_b - pageSize * (timingNoisePages - i));
+        }
+        return;
+      }
+
+      case AttackPoint::TimingAsyncDrain: {
+        // Park a sealed copy of page A on an async eviction lane, then
+        // time the drain barrier: the lane's occupancy embeds the seal
+        // cost, so a dirty page stalls the drain measurably longer
+        // than a clean one.
+        if (!kernel.forceSwapOut(proc.pid, page_a))
+            return;
+        Cycles t0 = vmm.readTsc(0);
+        vmm.drainAsyncEvictions();
+        Cycles t1 = vmm.readTsc(0);
+        recordProbe(t1 - t0, t1 - t0 > timingDrainThreshold);
+        return;
+      }
 
       default:
         return;

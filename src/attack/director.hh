@@ -92,6 +92,15 @@ class AttackDirector final : public os::AttackHooks,
         return savedBundles_;
     }
 
+    // Timing-oracle recordings (timing points only) ---------------------
+    /** Raw probe-window cycle deltas, one per probe. */
+    const std::vector<Cycles>& probeDeltas() const { return probeDeltas_; }
+    /** Bits the timing oracle recovered (thresholded deltas). */
+    const std::vector<std::uint8_t>& recoveredBits() const
+    {
+        return recoveredBits_;
+    }
+
     // os::AttackHooks ---------------------------------------------------
     void onSyscallEntry(os::Kernel& kernel, os::Thread& t) override;
     void onReadReturn(os::Kernel& kernel, os::Thread& t, GuestVA buf,
@@ -134,6 +143,21 @@ class AttackDirector final : public os::AttackHooks,
     /** Arm the shadow-table lie once two target pages exist. */
     void armShadowLie(os::Kernel& kernel);
 
+    /**
+     * Timing-oracle probe, run at the victim's Yield traps. Times one
+     * kernel-side operation against the cloak engine's deterministic
+     * cost model through the guest-visible clock (Vmm::readTsc) and
+     * thresholds the delta into one recovered secret bit. Never touches
+     * victim *contents* — the only channel is time.
+     */
+    void timingProbe(os::Kernel& kernel, os::Thread& t);
+
+    /** Find the timing victim's signal arena (top 20 contiguous pages). */
+    bool locateTimingArena(os::Kernel& kernel, GuestVA& top);
+
+    /** Record one probe delta + thresholded bit; counts as a firing. */
+    void recordProbe(Cycles delta, bool bit);
+
     system::System& sys_;
     DirectorConfig config_;
     os::Kernel& kernel_;
@@ -153,6 +177,10 @@ class AttackDirector final : public os::AttackHooks,
     std::set<std::uint64_t> corruptedBundles_;
     std::set<std::uint64_t> truncatedBundles_;
     std::set<std::uint64_t> rolledBack_;
+
+    // Timing-oracle recordings.
+    std::vector<Cycles> probeDeltas_;
+    std::vector<std::uint8_t> recoveredBits_;
 
     /** Shadow-walk lie state (remap / double-map). */
     struct ShadowLie

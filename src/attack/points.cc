@@ -27,6 +27,10 @@ attackPointName(AttackPoint p)
       case AttackPoint::MigManifestTrunc: return "mig_manifest_trunc";
       case AttackPoint::RingTamper: return "ring_tamper";
       case AttackPoint::RingCompForge: return "ring_comp_forge";
+      case AttackPoint::TimingVictimProbe: return "timing_victim";
+      case AttackPoint::TimingCleanProbe: return "timing_clean_page";
+      case AttackPoint::TimingAsyncDrain: return "timing_async_drain";
+      case AttackPoint::TimingMetadataProbe: return "timing_metadata";
       case AttackPoint::NumPoints: break;
     }
     return "?";
@@ -65,6 +69,20 @@ isTamperPoint(AttackPoint p)
       case AttackPoint::MigManifestTrunc:
       case AttackPoint::RingTamper:
       case AttackPoint::RingCompForge:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+isTimingPoint(AttackPoint p)
+{
+    switch (p) {
+      case AttackPoint::TimingVictimProbe:
+      case AttackPoint::TimingCleanProbe:
+      case AttackPoint::TimingAsyncDrain:
+      case AttackPoint::TimingMetadataProbe:
         return true;
       default:
         return false;

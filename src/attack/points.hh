@@ -55,6 +55,10 @@ enum class AttackPoint : std::uint8_t
     MigManifestTrunc,///< Truncate the checkpoint image mid-transfer.
     RingTamper,      ///< Rewrite a submitted batch descriptor in the ring.
     RingCompForge,   ///< Forge batch completions (result + echo token).
+    TimingVictimProbe,   ///< Time victim-cache hit vs full re-seal.
+    TimingCleanProbe,    ///< Time clean-page re-encrypt vs dirty seal.
+    TimingAsyncDrain,    ///< Time async-lane drain stalls.
+    TimingMetadataProbe, ///< Time metadata cache hit vs miss.
     NumPoints,
 };
 
@@ -76,6 +80,15 @@ bool isTamperPoint(AttackPoint p);
  * campaign runs them through a dedicated two-System cell runner.
  */
 bool isMigrationPoint(AttackPoint p);
+
+/**
+ * Timing points never touch victim state: they only observe the
+ * virtualized TSC around probe accesses the kernel performs itself.
+ * They are probe points (never Detected for firing), but the campaign
+ * classifies a cell LEAK when the timing-recovered bit pattern matches
+ * the timing victim's secret above chance.
+ */
+bool isTimingPoint(AttackPoint p);
 
 } // namespace osh::attack
 

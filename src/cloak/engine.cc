@@ -87,6 +87,33 @@ CloakEngine::findRegion(DomainId domain, Asid asid, GuestVA va_page)
     return nullptr;
 }
 
+bool
+CloakEngine::inCloakedRegion(Asid asid, GuestVA va_page)
+{
+    for (auto& [id, d] : domains_) {
+        for (Region& r : d.regions) {
+            if (r.asid == asid && r.contains(va_page))
+                return true;
+        }
+    }
+    return false;
+}
+
+Cycles
+CloakEngine::worstCaseSealCycles() const
+{
+    const auto& p = vmm_.machine().cost().params();
+    return p.aesPerByte * pageSize + p.shaPerByte * (pageSize + 40) +
+           p.cloakFaultFixed;
+}
+
+void
+CloakEngine::setConstantCostMode(bool on)
+{
+    constantCost_ = on;
+    metadata_.setConstantCostLookups(on);
+}
+
 Domain&
 CloakEngine::domainOf(DomainId id)
 {
@@ -242,9 +269,14 @@ CloakEngine::encryptPageWith(Resource& res, std::uint64_t page_index,
                             res.domain, 0, res.id, page_index);
             std::memcpy(frame.data(), v->ciphertext.data(),
                         frame.size());
+            // Constant-cost mode: the hit must be indistinguishable
+            // from the dirty worst case, or its cheapness is an oracle
+            // for "the victim did not write this page".
             chargeOrDefer(cost,
-                          cost.params().victimHitCopy +
-                              cost.params().cloakFaultFixed,
+                          constantCost_
+                              ? worstCaseSealCycles()
+                              : cost.params().victimHitCopy +
+                                    cost.params().cloakFaultFixed,
                           "page_reencrypt_victim", defer_cycles);
             stats_.counter("victim_reencrypt_hits").inc();
             stats_.counter("clean_reencrypts").inc();
@@ -266,8 +298,10 @@ CloakEngine::encryptPageWith(Resource& res, std::uint64_t page_index,
                             frame.size());
             }
             chargeOrDefer(cost,
-                          cost.params().aesPerByte * pageSize +
-                              cost.params().cloakFaultFixed,
+                          constantCost_
+                              ? worstCaseSealCycles()
+                              : cost.params().aesPerByte * pageSize +
+                                    cost.params().cloakFaultFixed,
                           "page_reencrypt_clean", defer_cycles);
             stats_.counter("clean_reencrypts").inc();
         }
@@ -320,8 +354,10 @@ CloakEngine::decryptAndVerifyWith(Resource& res, std::uint64_t page_index,
                               res.domain, 0, res.id, page_index);
             std::memcpy(frame.data(), v->plaintext.data(),
                         frame.size());
-            cost.charge(cost.params().victimHitCopy +
-                        cost.params().cloakFaultFixed,
+            cost.charge(constantCost_
+                            ? worstCaseSealCycles()
+                            : cost.params().victimHitCopy +
+                                  cost.params().cloakFaultFixed,
                         "page_decrypt_victim");
             stats_.counter("victim_decrypt_hits").inc();
             stats_.counter("page_decrypts").inc();
@@ -1074,6 +1110,7 @@ CloakEngine::resolvePage(const vmm::Context& ctx, GuestVA va_page,
     // Never let a frame holding some other page's plaintext escape its
     // owner's exclusive view.
     auto pit = plaintextIndex_.find(gpa);
+    bool was_plaintext = pit != plaintextIndex_.end();
     if (pit != plaintextIndex_.end()) {
         bool self = res != nullptr && pit->second.resource == res->id &&
                     pit->second.pageIndex == page_index;
@@ -1093,6 +1130,18 @@ CloakEngine::resolvePage(const vmm::Context& ctx, GuestVA va_page,
     if (res == nullptr) {
         // System view, another domain's view, or an uncloaked page:
         // plain passthrough (the frame now holds no foreign plaintext).
+        //
+        // Campaign audit finding: when the page was ALREADY sealed the
+        // branch above never ran and this passthrough cost the engine
+        // nothing — a zero-cost distinguisher between "sealed" and
+        // "held plaintext" on every kernel access to a cloaked VA.
+        // Constant-cost mode charges the worst-case seal either way.
+        if (constantCost_ && !was_plaintext &&
+            inCloakedRegion(ctx.asid, va_page)) {
+            vmm_.machine().cost().charge(worstCaseSealCycles(),
+                                         "page_seal_equalized");
+            stats_.counter("equalized_passthroughs").inc();
+        }
         return {mpa, true, pte.writable};
     }
 
@@ -1611,6 +1660,25 @@ CloakEngine::hypercall(vmm::Vcpu& vcpu, vmm::Hypercall num,
             return static_cast<std::int64_t>(plaintextIndex_.size());
           case 2: return static_cast<std::int64_t>(domains_.size());
           case 3: return static_cast<std::int64_t>(auditLog_.dropped());
+          default: return -1;
+        }
+
+      case vmm::Hypercall::CloakIntrospect:
+        // Timing-hardening introspection: lets the guest (and the
+        // tests) assert what a prober can actually observe. None of
+        // these values are secret — the knobs are system policy, not
+        // per-domain state — so no domain check.
+        switch (arg(0)) {
+          case vmm::introspectClockFuzz:
+            return static_cast<std::int64_t>(vmm_.clockFuzzCycles());
+          case vmm::introspectClockOffset:
+            return static_cast<std::int64_t>(vmm_.clockOffsetCycles());
+          case vmm::introspectConstantCost:
+            return constantCost_ ? 1 : 0;
+          case vmm::introspectVictimCacheCapacity:
+            return static_cast<std::int64_t>(victims_.capacity());
+          case vmm::introspectAsyncEvictDepth:
+            return static_cast<std::int64_t>(asyncDepth_);
           default: return -1;
         }
 

@@ -491,6 +491,20 @@ class CloakEngine : public vmm::CloakBackend
     void setChunkedIntegrity(bool on) { chunkedIntegrity_ = on; }
     bool chunkedIntegrity() const { return chunkedIntegrity_; }
 
+    /**
+     * Constant-cost response mode (timing-channel hardening, ablation).
+     * Every distinguishable cloak response charges its worst-case
+     * sibling's cycles: victim-cache hits and clean re-encrypts charge
+     * the full dirty seal, the victim-decrypt fast path charges a full
+     * verify+decrypt, metadata-cache hits charge a miss, and kernel
+     * passthrough of an already-sealed cloaked page charges a full seal
+     * (the zero-cost distinguisher the timing campaign found). Bytes,
+     * verdicts and cache behavior are unchanged — only cycle
+     * accounting. See docs/threat-model.md for the oracle inventory.
+     */
+    void setConstantCostMode(bool on);
+    bool constantCostMode() const { return constantCost_; }
+
   private:
     struct PlaintextRef
     {
@@ -623,6 +637,17 @@ class CloakEngine : public vmm::CloakBackend
 
     /** Per-chunk hash-tree integrity instead of the flat page MAC. */
     bool chunkedIntegrity_ = false;
+
+    /** Constant-cost responses (see setConstantCostMode). */
+    bool constantCost_ = false;
+
+    /** The dirty full-seal charge — the cost every equalized branch
+     *  pays under constant-cost mode. */
+    Cycles worstCaseSealCycles() const;
+
+    /** Is @p va_page inside any domain's cloaked region of @p asid?
+     *  (The equalized-passthrough check; O(domains), cold path.) */
+    bool inCloakedRegion(Asid asid, GuestVA va_page);
 
     /** Host lanes for the batch paths; one lane = no threads. */
     WorkerPool pool_{1};

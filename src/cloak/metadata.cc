@@ -222,7 +222,11 @@ MetadataStore::touchCache(ResourceId res, std::uint64_t page_index)
     auto it = cacheIndex_.find(key);
     if (it != cacheIndex_.end()) {
         lru_.splice(lru_.begin(), lru_, it->second);
-        cost_.charge(cost_.params().metadataHit, "metadata_hit");
+        // Constant-cost mode: a hit priced below a miss tells the
+        // kernel which (resource, page) pairs were touched recently.
+        cost_.charge(constantCostLookups_ ? cost_.params().metadataMiss
+                                          : cost_.params().metadataHit,
+                     "metadata_hit");
         return;
     }
     cost_.charge(cost_.params().metadataMiss, "metadata_miss");
@@ -244,7 +248,10 @@ MetadataStore::page(Resource& res, std::uint64_t page_index)
         CacheKey key{res.id, page_index};
         {
             std::lock_guard<std::mutex> lk(cacheLock_);
-            cost_.charge(cost_.params().metadataHit, "metadata_hit");
+            cost_.charge(constantCostLookups_
+                             ? cost_.params().metadataMiss
+                             : cost_.params().metadataHit,
+                         "metadata_hit");
             auto cit = cacheIndex_.find(key);
             if (cit != cacheIndex_.end()) {
                 lru_.splice(lru_.begin(), lru_, cit->second);

@@ -169,6 +169,10 @@ class MetadataStore
     /** Change the cache capacity (ablation benchmarks). */
     void setCacheCapacity(std::size_t capacity);
 
+    /** Constant-cost lookups (timing hardening): hits charge the miss
+     *  cost, so residency in the hot cache is not observable. */
+    void setConstantCostLookups(bool on) { constantCostLookups_ = on; }
+
     // Sealing -------------------------------------------------------------
 
     /**
@@ -297,6 +301,9 @@ class MetadataStore
 
     sim::CostModel& cost_;
     std::size_t cacheCapacity_;
+
+    /** Hits charge the miss cost (see setConstantCostLookups). */
+    bool constantCostLookups_ = false;
 
     std::vector<std::unique_ptr<Shard>> shards_;
 

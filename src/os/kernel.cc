@@ -554,6 +554,27 @@ Kernel::evictOneFrame()
     return false;
 }
 
+bool
+Kernel::forceSwapOut(Pid pid, GuestVA va_page)
+{
+    Process* proc = findProcess(pid);
+    if (proc == nullptr)
+        return false;
+    Pte* pte = proc->as.findPte(pageBase(va_page));
+    if (pte == nullptr || !pte->present)
+        return false;
+    Gpa gpa = pageBase(pte->gpa);
+    FrameInfo& fi = frames_.info(gpa);
+    if (fi.use != FrameUse::Anon || fi.pinned || fi.refCount > 1)
+        return false;
+    auto mit = anonMappers_.find(gpa);
+    if (mit == anonMappers_.end() || mit->second.size() != 1)
+        return false;
+    swapOutAnon(gpa);
+    stats_.counter("forced_swap_outs").inc();
+    return true;
+}
+
 void
 Kernel::swapOutAnon(Gpa gpa)
 {

@@ -229,6 +229,17 @@ class Kernel : public vmm::GuestOsHooks
     std::string readUserString(Thread& t, GuestVA va,
                                std::size_t max = 4096);
 
+    /**
+     * Hostile-kernel seam: forcibly swap out one anonymous page of
+     * @p pid, exactly as memory pressure would. The timing campaign's
+     * async-drain prober uses this to place a chosen victim page on
+     * the asynchronous eviction queue and then time the drain barrier.
+     * Returns false (and does nothing) unless the page is a present,
+     * unpinned, singly-mapped anonymous frame — the same candidate
+     * rules evictOneFrame() applies.
+     */
+    bool forceSwapOut(Pid pid, GuestVA va_page);
+
   private:
     friend class KernelModeGuard;
 

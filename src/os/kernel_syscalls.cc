@@ -91,9 +91,20 @@ Kernel::dispatchSyscall(Thread& t, Sys num, std::uint64_t a1,
         result = 0;
         break;
       case Sys::Clock:
-        result = static_cast<std::int64_t>(cost.cycles());
+        // Through the virtualized clock: with the hardening knobs off
+        // this IS the raw counter, bit for bit; with them on each
+        // address space sees its own offset + fuzzed view.
+        result = static_cast<std::int64_t>(
+            vmm_.readTsc(currentProcess().as.asid()));
         break;
       case Sys::Sleep:
+        // The argument is attacker-controlled guest input: charging it
+        // unvalidated lets one call wedge the simulated clock (or wrap
+        // it outright near UINT64_MAX).
+        if (a1 > maxSleepCycles) {
+            result = -errInval;
+            break;
+        }
         cost.charge(a1, "sleep");
         sched_.yield();
         result = 0;

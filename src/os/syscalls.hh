@@ -125,6 +125,15 @@ enum Err : std::int64_t
     errNoSys = 38,
 };
 
+/**
+ * Upper bound on a Sys::Sleep argument (in cycles). ~4.3 billion
+ * cycles is hours of simulated time — far beyond any legitimate
+ * cooperative sleep — while still a small fraction of the counter's
+ * range, so the charge can never overflow or wedge the clock.
+ * Larger arguments return -errInval without charging anything.
+ */
+constexpr std::uint64_t maxSleepCycles = 1ull << 32;
+
 /** mmap protection bits. */
 constexpr std::uint64_t protRead = 1;
 constexpr std::uint64_t protWrite = 2;

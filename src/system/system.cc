@@ -88,6 +88,11 @@ SystemConfig::Builder::build() const
             "SystemConfig: chunkedIntegrity configured with cloaking "
             "disabled — there are no page MACs to make incremental");
     }
+    if (!cfg_.cloakingEnabled && cfg_.constantCostCloak) {
+        throw std::invalid_argument(
+            "SystemConfig: constantCostCloak configured with cloaking "
+            "disabled — there are no cloak responses to equalize");
+    }
     if (cfg_.attackSeed != 0 && cfg_.attackSeed == cfg_.seed) {
         throw std::invalid_argument(
             "SystemConfig: attackSeed must differ from seed — an "
@@ -106,6 +111,11 @@ System::System(const SystemConfig& config)
 {
     vmm_.setShadowRetention(config.shadowRetention);
     vmm_.setVcpuCount(config.effectiveVcpus());
+    // A distinct sub-seed keeps the spoofed-clock stream from aliasing
+    // workload or attack randomness.
+    vmm_.configureVirtualClock(config.clockFuzzCycles,
+                               config.clockOffsetCycles,
+                               config.seed ^ 0x7c10c5eedull);
     sched_.configureCpus(config.effectiveVcpus());
     sched_.setSwitchHook([this](os::Thread& t) {
         vmm_.onContextSwitch(t.vcpu.cpu());
@@ -121,6 +131,7 @@ System::System(const SystemConfig& config)
             static_cast<unsigned>(config.cryptoWorkers));
         engine_->setAsyncEvictDepth(config.asyncEvictDepth);
         engine_->setChunkedIntegrity(config.chunkedIntegrity);
+        engine_->setConstantCostMode(config.constantCostCloak);
     }
     kernel_.setCloakingAvailable(engine_ != nullptr);
     kernel_.setProcessHost(this);

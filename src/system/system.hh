@@ -126,6 +126,33 @@ struct SystemConfig
      */
     bool chunkedIntegrity = false;
 
+    /**
+     * Virtualized-clock fuzz amplitude in cycles (timing-channel
+     * hardening). Every guest-visible cycle read (Sys::Clock, the
+     * hostile prober's TSC) gets a fresh seeded term from [0, N] added.
+     * 0 = the exact legacy raw counter; committed baselines replay
+     * bit-identically.
+     */
+    Cycles clockFuzzCycles = 0;
+
+    /**
+     * Virtualized-clock per-ASID offset bound in cycles: each address
+     * space sees the counter displaced by a constant drawn once from
+     * [0, N]. 0 = no displacement (legacy).
+     */
+    Cycles clockOffsetCycles = 0;
+
+    /**
+     * Constant-cost cloak responses (timing-channel hardening,
+     * ablation-flagged). The victim-cache hit, clean-page re-encrypt
+     * and metadata-cache hit all charge their worst-case sibling's
+     * cycles, and kernel passthrough of an already-sealed cloaked page
+     * charges a full seal — so the distinguishable branches collapse
+     * to one cost. Bytes and verdict-relevant behavior are unchanged;
+     * only cycle accounting differs. Requires cloaking.
+     */
+    bool constantCostCloak = false;
+
     /** vCPU count actually simulated (resolves the 0 default). */
     std::size_t
     effectiveVcpus() const
@@ -228,6 +255,21 @@ class SystemConfig::Builder
     Builder& chunkedIntegrity(bool on)
     {
         cfg_.chunkedIntegrity = on;
+        return *this;
+    }
+    Builder& clockFuzzCycles(Cycles n)
+    {
+        cfg_.clockFuzzCycles = n;
+        return *this;
+    }
+    Builder& clockOffsetCycles(Cycles n)
+    {
+        cfg_.clockOffsetCycles = n;
+        return *this;
+    }
+    Builder& constantCostCloak(bool on)
+    {
+        cfg_.constantCostCloak = on;
         return *this;
     }
 

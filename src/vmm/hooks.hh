@@ -42,7 +42,15 @@ enum class Hypercall : std::uint64_t
     CloakDiscardFile = 10,   ///< Drop sealed metadata (create/truncate).
     CloakTeardownDomain = 11,///< Destroy a domain and its resources.
     CloakSnapshotFork = 12,  ///< Capture post-fork metadata for a child.
+    CloakIntrospect = 13,    ///< Query timing-hardening state (selector ABI).
 };
+
+/** CloakIntrospect selectors (hypercall arg 0). */
+constexpr std::uint64_t introspectClockFuzz = 0;
+constexpr std::uint64_t introspectClockOffset = 1;
+constexpr std::uint64_t introspectConstantCost = 2;
+constexpr std::uint64_t introspectVictimCacheCapacity = 3;
+constexpr std::uint64_t introspectAsyncEvictDepth = 4;
 
 /**
  * Interface to whatever decides how a guest page is presented to a

@@ -22,6 +22,17 @@ accessName(AccessType t)
 namespace
 {
 
+/** splitmix64 step: the virtual clock's private randomness stream. */
+std::uint64_t
+splitmix64(std::uint64_t& state)
+{
+    state += 0x9e3779b97f4a7c15ull;
+    std::uint64_t z = state;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
 /** Baseline backend: no cloaking, straight pmap translation. */
 class PassthroughBackend : public CloakBackend
 {
@@ -275,6 +286,43 @@ Vmm::prepareFramesForKernel(std::span<const Gpa> gpas)
     if (sealed > 0)
         stats_.counter("kernel_preseals").inc(sealed);
     return sealed;
+}
+
+void
+Vmm::configureVirtualClock(Cycles fuzz, Cycles offset,
+                           std::uint64_t seed)
+{
+    std::lock_guard<std::mutex> lock(vclockLock_);
+    clockFuzz_ = fuzz;
+    clockOffset_ = offset;
+    clockSeed_ = seed;
+    vclocks_.clear();
+}
+
+Cycles
+Vmm::readTsc(Asid asid)
+{
+    Cycles raw = machine_.cost().cycles();
+    if (clockFuzz_ == 0 && clockOffset_ == 0)
+        return raw; // Legacy exact path: baselines replay bit-identical.
+
+    std::lock_guard<std::mutex> lock(vclockLock_);
+    auto [it, fresh] = vclocks_.try_emplace(asid);
+    VClock& vc = it->second;
+    if (fresh) {
+        vc.rng = clockSeed_ ^
+                 (0x9e3779b97f4a7c15ull * (static_cast<std::uint64_t>(asid) + 1));
+        if (clockOffset_ > 0)
+            vc.offset = splitmix64(vc.rng) % (clockOffset_ + 1);
+    }
+    Cycles fuzz =
+        clockFuzz_ > 0 ? splitmix64(vc.rng) % (clockFuzz_ + 1) : 0;
+    Cycles vt = raw + vc.offset + fuzz;
+    if (vt <= vc.last)
+        vt = vc.last + 1;
+    vc.last = vt;
+    stats_.counter("tsc_virtual_reads").inc();
+    return vt;
 }
 
 void

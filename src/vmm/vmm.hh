@@ -25,7 +25,9 @@
 #include "vmm/shadow.hh"
 #include "vmm/tlb.hh"
 
+#include <map>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 namespace osh::vmm
@@ -153,6 +155,27 @@ class Vmm
     /** Charge one guest->VMM->guest round trip. */
     void chargeWorldSwitch(const char* reason);
 
+    /**
+     * Configure the virtualized guest clock (timing-channel hardening).
+     * Every guest-visible cycle read goes through readTsc(): with both
+     * knobs zero (the default) it returns the raw global cycle counter
+     * bit-identically — the legacy behavior every committed baseline
+     * replays. Non-zero knobs give each address space its own view:
+     * a per-ASID constant offset drawn once from [0, offset], plus a
+     * fresh fuzz term from [0, fuzz] on every read, monotonized so time
+     * never goes backwards within an ASID. All draws are splitmix64
+     * streams seeded from @p seed and the ASID, so the spoofed sequence
+     * is exactly reproducible run to run.
+     */
+    void configureVirtualClock(Cycles fuzz, Cycles offset,
+                               std::uint64_t seed);
+
+    /** Guest-visible cycle counter of @p asid (see configureVirtualClock). */
+    Cycles readTsc(Asid asid);
+
+    Cycles clockFuzzCycles() const { return clockFuzz_; }
+    Cycles clockOffsetCycles() const { return clockOffset_; }
+
     StatGroup& stats() { return stats_; }
 
   private:
@@ -166,6 +189,20 @@ class Vmm
     CloakBackend* cloak_;
     GuestOsHooks* os_ = nullptr;
     bool shadowRetention_ = true;
+
+    /** Per-ASID virtualized-clock state (see configureVirtualClock). */
+    struct VClock
+    {
+        Cycles offset = 0; ///< Constant per-ASID displacement.
+        Cycles last = 0;   ///< Monotonicity floor.
+        std::uint64_t rng = 0;
+    };
+    Cycles clockFuzz_ = 0;
+    Cycles clockOffset_ = 0;
+    std::uint64_t clockSeed_ = 0;
+    std::map<Asid, VClock> vclocks_;
+    std::mutex vclockLock_;
+
     StatGroup stats_;
 };
 

@@ -1064,6 +1064,70 @@ wlVictimServer(Env& env)
     return writeResult(env, "wl.victim.server", h);
 }
 
+/**
+ * Timing-channel victim: encodes a balanced 32-bit secret purely into
+ * *cloak-cache behavior* — never into any kernel-visible byte. Arena
+ * layout (20 pages):
+ *
+ *   [0..1]   sentinel pages (leak oracle, as in every victim)
+ *   [2..17]  16 noise pages driving the metadata-LRU signal
+ *   [18]     signal page B: always read (always clean)
+ *   [19]     signal page A: bit=1 -> written (dirty), bit=0 -> read
+ *
+ * Each round also encodes the bit into metadata-cache residency:
+ * bit=1 touches all 16 distinct noise pages (evicting B from a
+ * 12-entry LRU), bit=0 touches noise[0] 16 times (B stays resident).
+ * One Yield per round hands the hostile kernel a probe point that is
+ * exactly synchronous with the bit; the timing campaign's oracle
+ * recovers the secret from cost deltas alone — or fails to, once the
+ * virtualized clock and constant-cost hardening are enabled.
+ */
+int
+wlVictimTiming(Env& env)
+{
+    const std::uint64_t seed = workloadSeed(env);
+    const std::uint64_t sentinel = attackSentinel(seed);
+    const std::vector<std::uint8_t> bits = timingSecretBits(seed);
+    const std::uint64_t sentinel_pages = 2;
+    const std::uint64_t noise_pages = 16;
+    const std::uint64_t total_pages = 20;
+
+    GuestVA arena = env.allocPages(total_pages);
+    GuestVA noise = arena + sentinel_pages * pageSize;
+    GuestVA page_b = arena + (total_pages - 2) * pageSize;
+    GuestVA page_a = arena + (total_pages - 1) * pageSize;
+
+    plantSentinel(env, arena, sentinel_pages, sentinel);
+    for (std::uint64_t i = 0; i < noise_pages; ++i)
+        env.store64(noise + i * pageSize, victimWord(seed, 0x7193, i, 0));
+    env.store64(page_b, victimWord(seed, 0x7193, 100, 0));
+    env.store64(page_a, victimWord(seed, 0x7193, 101, 0));
+
+    std::uint64_t h = fnvOffset;
+    env.yield(); // Warmup round: lets a prober seal the arena once.
+
+    for (std::size_t r = 0; r < bits.size(); ++r) {
+        if (bits[r]) {
+            // Secret bit 1: dirty the signal page. The store is a pure
+            // function of (seed, round) so reruns are deterministic.
+            env.store64(page_a, victimWord(seed, 0x7193, 200 + r, 0));
+        } else {
+            // Secret bit 0: same page, read-only touch.
+            fnvMix(h, env.load64(page_a));
+        }
+        fnvMix(h, env.load64(page_b));
+        for (std::uint64_t i = 0; i < noise_pages; ++i) {
+            GuestVA p = bits[r] ? noise + i * pageSize : noise;
+            fnvMix(h, env.load64(p));
+        }
+        env.yield(); // The probe point: one trap per encoded bit.
+    }
+
+    if (!sentinelIntact(env, arena, sentinel_pages, sentinel))
+        return victimStatusCorrupt;
+    return writeResult(env, "wl.victim.timing", h);
+}
+
 // ---------------------------------------------------------------------------
 // Scale-bench tenant (bench_scale)
 // ---------------------------------------------------------------------------
@@ -1130,8 +1194,25 @@ victimNames()
         "wl.victim.fileio",
         "wl.victim.paging",
         "wl.victim.server",
+        "wl.victim.timing",
     };
     return names;
+}
+
+std::vector<std::uint8_t>
+timingSecretBits(std::uint64_t system_seed)
+{
+    // 16 ones and 16 zeros, order shuffled by a seeded Fisher-Yates,
+    // so a guess-everything strategy recovers exactly half the bits.
+    std::vector<std::uint8_t> bits(32, 0);
+    for (std::size_t i = 0; i < 16; ++i)
+        bits[i] = 1;
+    std::uint64_t s = system_seed ^ 0x0071b17e5ec2e7ull;
+    for (std::size_t i = bits.size() - 1; i > 0; --i) {
+        std::size_t j = splitmix(s) % (i + 1);
+        std::swap(bits[i], bits[j]);
+    }
+    return bits;
 }
 
 std::uint64_t
@@ -1178,6 +1259,7 @@ registerAll(system::System& sys)
     add("wl.victim.fileio", wlVictimFileio);
     add("wl.victim.paging", wlVictimPaging);
     add("wl.victim.server", wlVictimServer);
+    add("wl.victim.timing", wlVictimTiming);
 }
 
 std::string

@@ -69,6 +69,16 @@ std::uint64_t attackSentinel(std::uint64_t system_seed);
 constexpr int victimStatusRefused = 42;
 constexpr int victimStatusCorrupt = 7;
 
+/**
+ * The balanced 32-bit secret (16 ones, 16 zeros, seeded shuffle) that
+ * wl.victim.timing encodes purely into cloak-cache *behavior* — dirty
+ * vs clean signal pages, metadata-LRU residency — never into any
+ * kernel-visible byte. Balance makes chance recovery exactly 50%, so
+ * the campaign's timing oracle can claim LEAK only when its
+ * threshold-recovered bits beat chance decisively (>= 24/32 matches).
+ */
+std::vector<std::uint8_t> timingSecretBits(std::uint64_t system_seed);
+
 /** Read a guest file's contents from the host (for verification). */
 std::string readGuestFile(system::System& sys, const std::string& path);
 

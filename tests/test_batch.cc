@@ -115,6 +115,66 @@ TEST(BatchEquivalence, OversizedTransfersFallBackCorrectly)
 }
 
 // ---------------------------------------------------------------------------
+// Sys::Clock serial equivalence inside a batch
+// ---------------------------------------------------------------------------
+
+TEST(BatchClock, BatchedClockIsSerialEquivalent)
+{
+    // The ring dispatches entries live, one at a time, so a Clock
+    // entry must observe the time at ITS dispatch position — after the
+    // cost of every earlier entry in the batch, before every later
+    // one — exactly as serially-issued clocks bracketing the same
+    // work would. A kernel that snapshotted the clock once per batch
+    // (or reordered dispatch) would flatten these strict inequalities.
+    for (bool cloaked : {true, false}) {
+        System sys(config(cloaked));
+        auto r = run(sys, [](Env& env) {
+            GuestVA buf = env.allocPages(1);
+            std::int64_t fd =
+                env.open("/clk.dat", os::openCreate | os::openRead |
+                                         os::openWrite);
+            if (fd < 0)
+                return 1;
+            if (env.write(static_cast<std::uint64_t>(fd), buf,
+                          pageSize) !=
+                static_cast<std::int64_t>(pageSize))
+                return 2;
+            Cycles before = env.clock();
+            std::vector<os::BatchEntry> entries = {
+                {os::Sys::Clock, {}},
+                {os::Sys::Pread,
+                 {static_cast<std::uint64_t>(fd), buf, pageSize, 0}},
+                {os::Sys::Clock, {}},
+                {os::Sys::Clock, {}},
+            };
+            std::vector<std::int64_t> results;
+            if (env.submitBatch(entries, results) != 4)
+                return 3;
+            Cycles after = env.clock();
+            Cycles c0 = static_cast<Cycles>(results[0]);
+            Cycles c2 = static_cast<Cycles>(results[2]);
+            Cycles c3 = static_cast<Cycles>(results[3]);
+            if (!(before < c0))
+                return 4; // batch clock predates submission
+            if (!(c0 < c2))
+                return 5; // pread's cost invisible to the next clock
+            if (!(c2 < c3))
+                return 6; // adjacent entries collapsed to one instant
+            if (!(c3 < after))
+                return 7; // batch clock postdates completion
+            // The pread must dominate the gap between its bracketing
+            // clocks (disk access costs dwarf dispatch overhead).
+            if (c2 - c0 < (c3 - c2))
+                return 8;
+            env.close(static_cast<std::uint64_t>(fd));
+            return 0;
+        });
+        EXPECT_EQ(r.status, 0)
+            << (cloaked ? "cloaked: " : "native: ") << r.killReason;
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Depth-1 identity with the legacy path
 // ---------------------------------------------------------------------------
 

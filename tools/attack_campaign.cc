@@ -9,7 +9,8 @@
  *
  * Usage:
  *   attack_campaign [--seeds=1,2,3] [--points=a,b] [--workloads=x,y]
- *                   [--vcpus=N] [--async-depth=N] [--out=FILE]
+ *                   [--vcpus=N] [--async-depth=N]
+ *                   [--timing-hardening=0|1] [--out=FILE]
  *                   [--expect=FILE] [--quiet]
  *
  * Exit codes:
@@ -64,8 +65,8 @@ usage(const std::string& bad)
     std::cerr << "attack_campaign: bad argument: " << bad << "\n"
               << "usage: attack_campaign [--seeds=1,2,3] "
                  "[--points=a,b] [--workloads=x,y] [--vcpus=N] "
-                 "[--async-depth=N] [--out=FILE] [--expect=FILE] "
-                 "[--quiet]\n"
+                 "[--async-depth=N] [--timing-hardening=0|1] "
+                 "[--out=FILE] [--expect=FILE] [--quiet]\n"
               << "points:";
     for (AttackPoint p : osh::attack::allAttackPoints())
         std::cerr << " " << osh::attack::attackPointName(p);
@@ -123,6 +124,18 @@ main(int argc, char** argv)
                 config.asyncDepth =
                     std::stoull(value("--async-depth="));
             } catch (const std::exception&) {
+                return usage(arg);
+            }
+        } else if (arg.rfind("--timing-hardening=", 0) == 0) {
+            // 1 (default): virtualized clock + constant-cost cloak on
+            // every timing cell — the hardened table CI replays.
+            // 0: demonstrate the timing LEAK cells the knobs close.
+            std::string v = value("--timing-hardening=");
+            if (v == "0") {
+                config.timingHardening = false;
+            } else if (v == "1") {
+                config.timingHardening = true;
+            } else {
                 return usage(arg);
             }
         } else if (arg.rfind("--out=", 0) == 0) {
